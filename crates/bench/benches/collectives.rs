@@ -1,0 +1,60 @@
+//! Criterion benches for the simulated machine's collectives: real
+//! wall-clock cost of broadcast/reduce/barrier across thread-ranks, which
+//! bounds how fast the whole simulator can run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simgrid::{Machine, Payload, TimeModel};
+use std::hint::black_box;
+
+fn bench_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bcast_16ranks");
+    g.sample_size(10);
+    for &words in &[64usize, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(words), &words, |bch, &w| {
+            bch.iter(|| {
+                let m = Machine::new(16, TimeModel::zero());
+                let out = m.run(move |rank| {
+                    let world = rank.world();
+                    let data = if rank.id() == 0 {
+                        Some(Payload::F64s(vec![1.0; w]))
+                    } else {
+                        None
+                    };
+                    rank.bcast(&world, 0, data, 1).words()
+                });
+                black_box(out.results[15])
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduce_and_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coll_16ranks");
+    g.sample_size(10);
+    g.bench_function("reduce_4096w", |bch| {
+        bch.iter(|| {
+            let m = Machine::new(16, TimeModel::zero());
+            let out = m.run(|rank| {
+                let world = rank.world();
+                rank.reduce_sum(&world, 0, vec![1.0; 4096], 2).map(|v| v[0])
+            });
+            black_box(out.results[0])
+        });
+    });
+    g.bench_function("barrier_x8", |bch| {
+        bch.iter(|| {
+            let m = Machine::new(16, TimeModel::zero());
+            m.run(|rank| {
+                let world = rank.world();
+                for t in 0..8 {
+                    rank.barrier(&world, t);
+                }
+            });
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bcast, bench_reduce_and_barrier);
+criterion_main!(benches);

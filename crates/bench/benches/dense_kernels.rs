@@ -1,0 +1,83 @@
+//! Criterion benches for the dense kernel substrate: GEMM, TRSM, GETRF at
+//! supernodal block sizes (the paper's per-block working set).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use densela::{gemm, getrf, trsm_left_lower_unit, trsm_right_upper, Mat, PivotPolicy};
+use std::hint::black_box;
+
+fn mk(m: usize, n: usize, seed: u64) -> Mat {
+    let mut s = seed.max(1);
+    Mat::from_fn(m, n, |i, j| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let base = (s % 1000) as f64 / 500.0 - 1.0;
+        if i == j {
+            base + 8.0
+        } else {
+            base * 0.2
+        }
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(20);
+    for &n in &[32usize, 64, 128, 256] {
+        let a = mk(n, n, 1);
+        let b = mk(n, n, 2);
+        g.throughput(criterion::Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            let mut cm = Mat::zeros(n, n);
+            bch.iter(|| {
+                gemm(-1.0, black_box(&a), black_box(&b), 1.0, &mut cm);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_getrf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("getrf");
+    g.sample_size(20);
+    for &n in &[32usize, 64, 128, 256] {
+        let a = mk(n, n, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut m = a.clone();
+                getrf(&mut m, PivotPolicy::Static { threshold: 1e-10 });
+                black_box(m.at(n - 1, n - 1))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trsm");
+    g.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let mut lu = mk(n, n, 4);
+        getrf(&mut lu, PivotPolicy::Static { threshold: 1e-10 });
+        let rhs = mk(n, 64, 5);
+        g.bench_with_input(BenchmarkId::new("left_lower", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut b = rhs.clone();
+                trsm_left_lower_unit(&lu, &mut b);
+                black_box(b.at(0, 0))
+            });
+        });
+        let rhs_t = mk(64, n, 6);
+        g.bench_with_input(BenchmarkId::new("right_upper", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut b = rhs_t.clone();
+                trsm_right_upper(&lu, &mut b);
+                black_box(b.at(0, 0))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_getrf, bench_trsm);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches for the factorization itself: sequential reference,
+//! the 2D baseline, and the 3D algorithm at matched rank counts — the
+//! wall-clock view that complements the simulated-time figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lu3d::solver::{factor_only, SolverConfig};
+use simgrid::{Grid2d, TimeModel};
+use slu2d::driver::Prepared;
+use slu2d::seq::seq_factor;
+use slu2d::store::{BlockStore, InitValues};
+use sparsemat::matgen::grid2d_5pt;
+use sparsemat::testmats::Geometry;
+use std::hint::black_box;
+
+fn prep(k: usize) -> Prepared {
+    Prepared::new(
+        grid2d_5pt(k, k, 0.1, 0),
+        Geometry::Grid2d { nx: k, ny: k },
+        32,
+        32,
+    )
+}
+
+fn bench_seq_factor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factor_seq");
+    g.sample_size(10);
+    for &k in &[32usize, 48, 64] {
+        let p = prep(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k * k), &k, |bch, _| {
+            bch.iter(|| {
+                let grid = Grid2d::new(1, 1);
+                let mut store = BlockStore::build(
+                    &p.pa,
+                    &p.sym,
+                    &grid,
+                    0,
+                    0,
+                    &|_| true,
+                    InitValues::FromMatrix,
+                );
+                seq_factor(&mut store, &p.sym, 1e-10);
+                black_box(store.total_words())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_2d_vs_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factor_dist");
+    g.sample_size(10);
+    let p = prep(48);
+    for (label, pr, pc, pz) in [("2d_2x2", 2, 2, 1), ("3d_2x1x2", 2, 1, 2), ("3d_1x1x4", 1, 1, 4)] {
+        g.bench_function(BenchmarkId::new(label, 48 * 48), |bch| {
+            bch.iter(|| {
+                let cfg = SolverConfig {
+                    pr,
+                    pc,
+                    pz,
+                    model: TimeModel::zero(),
+                    ..Default::default()
+                };
+                black_box(factor_only(&p, &cfg).max_store_words)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_seq_factor, bench_2d_vs_3d);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches for the preprocessing substrates: nested dissection
+//! (both engines) and block symbolic factorization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ordering::{nested_dissection, Graph, NdOptions};
+use sparsemat::matgen::{grid2d_5pt, grid3d_7pt};
+use sparsemat::testmats::Geometry;
+use std::hint::black_box;
+use symbolic::Symbolic;
+
+fn bench_nd_geometric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nd_geometric");
+    g.sample_size(10);
+    for &k in &[32usize, 64, 128] {
+        let a = grid2d_5pt(k, k, 0.0, 0);
+        let gr = Graph::from_matrix(&a);
+        g.bench_with_input(BenchmarkId::from_parameter(k * k), &k, |bch, _| {
+            bch.iter(|| {
+                let tree = nested_dissection(
+                    &gr,
+                    NdOptions {
+                        leaf_size: 32,
+                        geometry: Geometry::Grid2d { nx: k, ny: k },
+                        ..Default::default()
+                    },
+                );
+                black_box(tree.nodes.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_nd_multilevel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nd_multilevel");
+    g.sample_size(10);
+    for &k in &[8usize, 12, 16] {
+        let a = grid3d_7pt(k, k, k, 0.0, 0);
+        let gr = Graph::from_matrix(&a);
+        g.bench_with_input(BenchmarkId::from_parameter(k * k * k), &k, |bch, _| {
+            bch.iter(|| {
+                let tree = nested_dissection(
+                    &gr,
+                    NdOptions {
+                        leaf_size: 32,
+                        geometry: Geometry::General,
+                        ..Default::default()
+                    },
+                );
+                black_box(tree.nodes.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_symbolic");
+    g.sample_size(10);
+    for &k in &[64usize, 128] {
+        let a = grid2d_5pt(k, k, 0.0, 0);
+        let gr = Graph::from_matrix(&a);
+        let tree = nested_dissection(
+            &gr,
+            NdOptions {
+                leaf_size: 32,
+                geometry: Geometry::Grid2d { nx: k, ny: k },
+                ..Default::default()
+            },
+        );
+        let pa = a.permute_sym(&tree.perm).symmetrize_pattern();
+        g.bench_with_input(BenchmarkId::from_parameter(k * k), &k, |bch, _| {
+            bch.iter(|| {
+                let sym = Symbolic::analyze(&pa, &tree, 32);
+                black_box(sym.stats().factor_words)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nd_geometric, bench_nd_multilevel, bench_symbolic);
+criterion_main!(benches);

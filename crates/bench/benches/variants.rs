@@ -1,0 +1,106 @@
+//! Criterion benches for the solver variants: LU vs Cholesky sequential
+//! factorization, the distributed triangular solves, and 2D vs 2.5D SUMMA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dense25d::{summa_25d, DenseDist};
+use densela::Mat;
+use lu3d::solver::{factor_and_solve, SolveStrategy, SolverConfig};
+use simgrid::topology::build_grid_comms;
+use simgrid::{Grid3d, Machine, TimeModel};
+use slu2d::cholseq::{build_chol_store, chol_factor};
+use slu2d::driver::Prepared;
+use slu2d::seq::seq_factor;
+use slu2d::store::{BlockStore, InitValues};
+use sparsemat::matgen::grid2d_5pt;
+use sparsemat::testmats::Geometry;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn prep_sym(k: usize) -> Prepared {
+    // unsym = 0 keeps values symmetric so the Cholesky path applies.
+    Prepared::new(
+        grid2d_5pt(k, k, 0.0, 0),
+        Geometry::Grid2d { nx: k, ny: k },
+        32,
+        32,
+    )
+}
+
+fn bench_lu_vs_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seq_variants");
+    g.sample_size(10);
+    let p = prep_sym(48);
+    g.bench_function("lu_seq_48x48", |bch| {
+        bch.iter(|| {
+            let grid = simgrid::Grid2d::new(1, 1);
+            let mut store =
+                BlockStore::build(&p.pa, &p.sym, &grid, 0, 0, &|_| true, InitValues::FromMatrix);
+            seq_factor(&mut store, &p.sym, 1e-10);
+            black_box(store.total_words())
+        });
+    });
+    g.bench_function("cholesky_seq_48x48", |bch| {
+        bch.iter(|| {
+            let mut store = build_chol_store(&p.pa, &p.sym);
+            chol_factor(&mut store, &p.sym).expect("SPD");
+            black_box(store.total_words())
+        });
+    });
+    g.finish();
+}
+
+fn bench_solve_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve_strategies");
+    g.sample_size(10);
+    let p = prep_sym(32);
+    let b: Vec<f64> = (0..p.a.nrows).map(|i| i as f64 * 0.01).collect();
+    for (label, strategy) in [
+        ("distributed3d", SolveStrategy::Distributed3d),
+        ("gather_grid0", SolveStrategy::GatherToGrid0),
+    ] {
+        let b = b.clone();
+        g.bench_function(label, |bch| {
+            bch.iter(|| {
+                let cfg = SolverConfig {
+                    pr: 1,
+                    pc: 2,
+                    pz: 2,
+                    solve_strategy: strategy,
+                    model: TimeModel::zero(),
+                    ..Default::default()
+                };
+                black_box(factor_and_solve(&p, &cfg, Some(b.clone())).x)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_summa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("summa");
+    g.sample_size(10);
+    for cz in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("n192_2x2", cz), &cz, |bch, &cz| {
+            bch.iter(|| {
+                let n = 192;
+                let grid3 = Grid3d::new(2, 2, cz);
+                let dist = DenseDist::new(n, 2, 2);
+                let a = Arc::new(Mat::from_fn(n, n, |i, j| ((i * 7 + j) % 13) as f64 - 6.0));
+                let b = Arc::clone(&a);
+                let machine = Machine::new(grid3.size(), TimeModel::zero());
+                let out = machine.run(move |rank| {
+                    let comms = build_grid_comms(rank, &grid3);
+                    let (my_r, my_c, my_z) = comms.coords;
+                    let inputs = (my_z == 0)
+                        .then(|| (dist.tile_of(&a, my_r, my_c), dist.tile_of(&b, my_r, my_c)));
+                    summa_25d(rank, &comms, &dist, cz, inputs, 8).c_tile.rows()
+                });
+                black_box(out.results[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lu_vs_cholesky, bench_solve_strategies, bench_summa);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. lookahead window (paper §II-F) — panel pipelining on/off;
+//! 2. greedy inter-grid load balance vs the naive ND mapping (paper Fig. 8)
+//!    — critical-path cost and measured time;
+//! 3. supernode width `maxsup` — panel granularity vs communication.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin ablations
+//! ```
+
+use bench::{matrix, print_table};
+use lu3d::forest::{EtreeForest, PartitionStrategy};
+use lu3d::solver::{factor_only, SolverConfig};
+use simgrid::TimeModel;
+use slu2d::driver::Prepared;
+
+fn main() {
+    println!("Ablation 1: lookahead window (k2d5pt, 2x2x4 grid)\n");
+    let tm = matrix("k2d5pt");
+    let prep = Prepared::new(tm.matrix.clone(), tm.geometry, 32, 32);
+    let mut rows = Vec::new();
+    for lookahead in [0usize, 2, 8, 16] {
+        let cfg = SolverConfig {
+            pr: 2,
+            pc: 2,
+            pz: 4,
+            lookahead,
+            model: TimeModel::edison_like(),
+            ..Default::default()
+        };
+        let out = factor_only(&prep, &cfg);
+        rows.push(vec![
+            lookahead.to_string(),
+            format!("{:.4}", out.makespan()),
+            out.lookahead_hits.to_string(),
+        ]);
+    }
+    print_table(&["window", "T_sim (s)", "early panels"], &rows);
+
+    println!("\nAblation 2: greedy vs naive tree partition (paper Fig. 8)\n");
+    let mut rows = Vec::new();
+    // The L-shaped domain produces the unbalanced elimination tree the
+    // paper's Fig. 8 illustrates; the regular suite matrices are nearly
+    // balanced by construction.
+    let mut cases: Vec<(String, sparsemat::Csr, sparsemat::testmats::Geometry)> = vec![
+        (
+            "two_domains(48,24)".to_string(),
+            sparsemat::matgen::two_domains(48, 24, 0.1, 5),
+            sparsemat::testmats::Geometry::General,
+        ),
+        (
+            "lshape64".to_string(),
+            sparsemat::matgen::grid2d_lshape(64, 0.1, 5),
+            sparsemat::testmats::Geometry::General,
+        ),
+    ];
+    for name in ["k2d5pt", "dielfilter", "ldoor", "nlpkkt"] {
+        let tm = matrix(name);
+        cases.push((name.to_string(), tm.matrix.clone(), tm.geometry));
+    }
+    for (name, mat, geometry) in cases {
+        let prep = Prepared::new(mat, geometry, 32, 32);
+        let greedy =
+            EtreeForest::build_with_strategy(&prep.tree, &prep.sym, 4, PartitionStrategy::Greedy);
+        let naive =
+            EtreeForest::build_with_strategy(&prep.tree, &prep.sym, 4, PartitionStrategy::NaiveNd);
+        let tg = greedy.critical_path_cost(&prep.tree, &prep.sym);
+        let tn = naive.critical_path_cost(&prep.tree, &prep.sym);
+        rows.push(vec![
+            name,
+            format!("{:.2e}", tg as f64),
+            format!("{:.2e}", tn as f64),
+            format!("{:.2}x", tn as f64 / tg as f64),
+        ]);
+    }
+    print_table(
+        &["matrix", "greedy crit-path (flop)", "naive crit-path (flop)", "naive/greedy"],
+        &rows,
+    );
+    println!(
+        "(the paper's Fig. 8 example: naive = 95 units vs greedy = 75 units)"
+    );
+
+    println!("\nAblation 3: supernode width maxsup (k2d5pt, 2x2x2 grid)\n");
+    let tm = matrix("k2d5pt");
+    let mut rows = Vec::new();
+    for maxsup in [8usize, 16, 32, 64] {
+        let prep = Prepared::new(tm.matrix.clone(), tm.geometry, maxsup, maxsup);
+        let cfg = SolverConfig {
+            pr: 2,
+            pc: 2,
+            pz: 2,
+            model: TimeModel::edison_like(),
+            ..Default::default()
+        };
+        let out = factor_only(&prep, &cfg);
+        let s = out.summary();
+        rows.push(vec![
+            maxsup.to_string(),
+            prep.sym.nsup().to_string(),
+            format!("{:.4}", out.makespan()),
+            s.max_sent_msgs.to_string(),
+            s.max_sent_words.to_string(),
+            format!("{:.2}M", out.total_store_words as f64 / 1e6),
+        ]);
+    }
+    print_table(
+        &["maxsup", "#supernodes", "T_sim (s)", "max msgs", "max words", "mem total"],
+        &rows,
+    );
+    println!(
+        "\nSmall panels raise message counts (latency-bound); large panels\n\
+         pad more zeros (memory/flop overhead). SuperLU tunes this the same way."
+    );
+}

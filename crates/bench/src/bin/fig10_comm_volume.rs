@@ -1,0 +1,53 @@
+//! Fig. 10: per-process communication volume by grid configuration, split
+//! into `W_fact` (xy-plane words during 2D factorization) and `W_red`
+//! (z-axis words during ancestor reduction), for a planar matrix (K2D5pt)
+//! and a non-planar one (nlpkkt), at two machine sizes.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig10_comm_volume
+//! ```
+
+use bench::{matrix, prepare, print_table, run_config, PZ_SWEEP};
+
+fn main() {
+    println!("Fig. 10 reproduction — per-process communication volume (bytes)\n");
+    for name in ["k2d5pt", "nlpkkt"] {
+        let tm = matrix(name);
+        let prep = prepare(&tm);
+        for p in [16usize, 64] {
+            println!("--- {name} ({}), P = {p} ---", tm.paper_name);
+            let mut rows = Vec::new();
+            let mut w_prev: Option<u64> = None;
+            for &pz in PZ_SWEEP {
+                let Some(out) = run_config(&prep, p, pz) else {
+                    continue;
+                };
+                let wf = out.w_fact() * 8;
+                let wr = out.w_red() * 8;
+                let total = wf + wr;
+                let trend = match w_prev {
+                    Some(prev) if total > prev => "up".to_string(),
+                    Some(_) => "down".to_string(),
+                    None => "-".to_string(),
+                };
+                w_prev = Some(total);
+                rows.push(vec![
+                    format!("{}x{}", p / pz, pz),
+                    format!("{wf}"),
+                    format!("{wr}"),
+                    format!("{total}"),
+                    trend,
+                ]);
+            }
+            print_table(&["Pxy x Pz", "W_fact (B)", "W_red (B)", "W_total (B)", "trend"], &rows);
+            println!();
+        }
+    }
+    println!(
+        "Paper shapes to verify (§V-D): W_fact falls as Pz grows; W_red grows\n\
+         ~linearly with Pz and stays negligible for the planar matrix (small\n\
+         separators) but becomes significant for nlpkkt, whose W_total\n\
+         re-increases at large Pz (crossover at Pz=8->16 on 16 nodes).\n\
+         Reported reductions: planar 3-4.7x, non-planar 2.5-3.7x."
+    );
+}

@@ -1,0 +1,79 @@
+//! Fig. 9: normalized factorization time for every matrix and every
+//! `P_xy x Pz` configuration at two machine sizes, split into `T_scu`
+//! (Schur-complement compute on the critical path) and `T_comm`
+//! (non-overlapped communication + synchronization).
+//!
+//! Paper axes: 16 nodes (96 ranks) and 64 nodes (384 ranks), Pz in
+//! {1,2,4,8,16}, each bar normalized by the 2D time on the smaller machine.
+//! This reproduction uses P = 16 and P = 64 simulated ranks.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig9_normalized_time
+//! ```
+
+use bench::{critical_path_split, prepare, print_table, run_config, scale_from_env, suite, PZ_SWEEP};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Fig. 9 reproduction — normalized factorization time at {scale:?} scale");
+
+    for p in [16usize, 64] {
+        let nodes = if p == 16 { 16 } else { 64 };
+        println!("\n=== {p} simulated ranks (paper: {nodes} nodes / {} MPI ranks) ===", nodes * 6);
+        let mut rows = Vec::new();
+        for tm in suite(scale) {
+            let prep = prepare(&tm);
+            // Normalizer: the 2D algorithm on P = 16 (the paper normalizes
+            // both plots by the 16-node 2D time). At p = 16 this is also the
+            // Pz = 1 sweep cell, so compute the run once and reuse it.
+            let base_run = run_config(&prep, 16, 1).expect("2D baseline");
+            let base = base_run.makespan();
+            let mut cells = vec![tm.name.to_string(), format!("{:?}", tm.class)];
+            let mut best = f64::INFINITY;
+            let mut two_d = base;
+            for &pz in PZ_SWEEP {
+                let run;
+                let out = if p == 16 && pz == 1 {
+                    Some(&base_run)
+                } else {
+                    run = run_config(&prep, p, pz);
+                    run.as_ref()
+                };
+                match out {
+                    Some(o) => {
+                        let (tscu, tcomm) = critical_path_split(o);
+                        let t = o.makespan();
+                        if pz == 1 {
+                            two_d = t;
+                        }
+                        best = best.min(t);
+                        cells.push(format!(
+                            "{:.2} ({:.2}+{:.2})",
+                            t / base,
+                            tscu / base,
+                            tcomm / base
+                        ));
+                    }
+                    None => cells.push("-".into()),
+                }
+            }
+            cells.push(format!("{:.2}x", two_d / best));
+            rows.push(cells);
+        }
+        let headers: Vec<String> = ["matrix", "class"]
+            .iter()
+            .map(|s| s.to_string())
+            .chain(PZ_SWEEP.iter().map(|pz| format!("Pz={pz}")))
+            .chain(["best vs 2D".to_string()])
+            .collect();
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        print_table(&hrefs, &rows);
+    }
+    println!(
+        "\nEach cell: T/T_base2D(16) as total (T_scu + T_comm).\n\
+         Paper shapes to verify: planar matrices keep improving as Pz grows\n\
+         (2-11.6x at 16 nodes, 2-16.6x at 64); extreme non-planar matrices\n\
+         (serena3d, nlpkkt) can slow down at large Pz on the small machine\n\
+         because shrinking the 2D grid inflates T_scu (§V-B)."
+    );
+}

@@ -1,0 +1,48 @@
+//! Latency study: the number of messages on the critical path — the `L`
+//! column of the paper's Table II, measured rather than modeled.
+//!
+//! The 2D algorithm's latency is `O(n)` because every rank touches every
+//! supernode; the 3D algorithm's is `O(n/Pz + sqrt(n))` for planar problems
+//! (equation 12), a `log n` factor better at the optimal `Pz`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin latency_study
+//! ```
+
+use bench::{prepare, print_table, run_config, scale_from_env, suite, PZ_SWEEP};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Latency study — max per-rank messages on the critical path (P = 16)\n");
+    let mut rows = Vec::new();
+    for tm in suite(scale) {
+        let prep = prepare(&tm);
+        let mut cells = vec![tm.name.to_string(), format!("{:?}", tm.class)];
+        let mut base = 0u64;
+        for &pz in PZ_SWEEP {
+            match run_config(&prep, 16, pz) {
+                Some(out) => {
+                    let msgs = out.summary().max_sent_msgs;
+                    if pz == 1 {
+                        base = msgs;
+                    }
+                    cells.push(format!("{msgs} ({:.1}x)", base as f64 / msgs.max(1) as f64));
+                }
+                None => cells.push("-".into()),
+            }
+        }
+        rows.push(cells);
+    }
+    let headers: Vec<String> = ["matrix", "class"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain(PZ_SWEEP.iter().map(|pz| format!("Pz={pz}")))
+        .collect();
+    let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&hrefs, &rows);
+    println!(
+        "\nExpected shape (Table II): messages fall roughly like Pz for the\n\
+         subtree-dominated levels, saturating at the sqrt(n) (planar) or\n\
+         n^(2/3) (non-planar) replicated-ancestor term."
+    );
+}

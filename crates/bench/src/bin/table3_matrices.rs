@@ -1,0 +1,38 @@
+//! Table III: the test-matrix inventory — n, nnz/n, #flops in the baseline
+//! 2D factorization, and the baseline factorization time.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin table3_matrices
+//! ```
+
+use bench::{prepare, print_table, run_config, scale_from_env, suite};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Table III reproduction — test matrices at {scale:?} scale");
+    println!("(#Flop and T_fact measured on the baseline 2D configuration, P = 16)\n");
+
+    let mut rows = Vec::new();
+    for tm in suite(scale) {
+        let prep = prepare(&tm);
+        let base = run_config(&prep, 16, 1).expect("2D config");
+        let s = base.summary();
+        rows.push(vec![
+            tm.name.to_string(),
+            tm.paper_name.to_string(),
+            format!("{:?}", tm.class),
+            format!("{:.1e}", tm.matrix.nrows as f64),
+            format!("{:.1}", tm.nnz_per_row()),
+            format!("{:.2e}", s.total_flops as f64),
+            format!("{:.3}", s.makespan),
+        ]);
+    }
+    print_table(
+        &["name", "paper matrix", "class", "n", "nnz/n", "#Flop", "T_fact (sim s)"],
+        &rows,
+    );
+    println!(
+        "\npaper reference: n = 4.2e5..1.6e7, nnz/n = 4.8..82, #Flop = 4.5e10..6.0e13,\n\
+         T_fact = 1.1..59.8 s on 16 Edison nodes (Table III)."
+    );
+}

@@ -1,0 +1,89 @@
+//! Bring-home of factor panels to grid 0 for the solve phase.
+//!
+//! After Algorithm 1, each supernode's factored panels live on the grid
+//! that factored it (the paper's "final state": the L and U factors are
+//! distributed among the process grids). The triangular solve in this
+//! reproduction runs on grid 0's layer, so the other grids first ship their
+//! factor blocks home along the z-axis — point-to-point between ranks with
+//! identical `(x, y)` coordinates, mirroring the ancestor-reduction routing.
+//!
+//! The paper does not benchmark the solve phase; this step exists for end-
+//! to-end correctness (residual checks) and is tagged under the `"solve"`
+//! traffic phase so it never pollutes the factorization statistics.
+
+use crate::forest::EtreeForest;
+use simgrid::topology::GridComms;
+use simgrid::Rank;
+use slu2d::store::{pack_blocks, unpack_blocks, BlockStore};
+use symbolic::Symbolic;
+
+const T_GATHER: u64 = 10 << 48;
+
+/// Ship every factor block owned by this rank whose supernode was factored
+/// on a non-zero grid to the corresponding rank of grid 0 (or receive them,
+/// on grid 0). After this returns on grid 0, its layer holds the complete
+/// factorization.
+pub fn gather_factors_to_grid0(
+    rank: &mut Rank,
+    comms: &GridComms,
+    store: &mut BlockStore,
+    sym: &Symbolic,
+    forest: &EtreeForest,
+) {
+    let (my_r, my_c, my_z) = comms.coords;
+    let grid = simgrid::Grid2d {
+        pr: comms.col.size(),
+        pc: comms.row.size(),
+    };
+    let nsup = sym.nsup();
+    for s in 0..nsup {
+        let node = sym.part.node_of_sn[s];
+        let g0 = forest.factoring_grid(node);
+        if g0 == 0 {
+            continue; // already home
+        }
+        if my_z != 0 && my_z != g0 {
+            continue;
+        }
+        // Deterministic owned-block list for supernode s: diagonal plus
+        // both panels. Both endpoints compute it identically.
+        let mut blocks: Vec<(usize, usize)> = Vec::new();
+        if grid.owner(s, s) == (my_r, my_c) {
+            blocks.push((s, s));
+        }
+        for &i in &sym.fill.struct_of[s] {
+            if grid.owner(i, s) == (my_r, my_c) {
+                blocks.push((i, s));
+            }
+            if grid.owner(s, i) == (my_r, my_c) {
+                blocks.push((s, i));
+            }
+        }
+        if blocks.is_empty() {
+            continue;
+        }
+        let tag = T_GATHER | s as u64;
+        if my_z == g0 {
+            let items: Vec<(usize, &densela::Mat)> = blocks
+                .iter()
+                .map(|&(i, j)| {
+                    (
+                        i * nsup + j,
+                        store
+                            .get(i, j)
+                            .unwrap_or_else(|| panic!("factoring grid missing block ({i},{j})")),
+                    )
+                })
+                .collect();
+            let payload = pack_blocks(&items);
+            rank.send(&comms.zline, 0, tag, payload);
+        } else {
+            // my_z == 0: receive and install.
+            let payload = rank.recv(&comms.zline, g0, tag);
+            for (code, m) in unpack_blocks(payload) {
+                let (i, j) = (code / nsup, code % nsup);
+                store.insert(i, j, m);
+            }
+        }
+    }
+}

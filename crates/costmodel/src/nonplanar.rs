@@ -1,0 +1,137 @@
+//! Non-planar (3D-geometry) cost model: §IV-C / Table II of the paper.
+//!
+//! For 3D-geometry problems the top separator has dimension `n^(2/3)`, the
+//! LU factors occupy `O(n^(4/3))` words, and about 20% of that is
+//! concentrated in the top separator — so replication is expensive and the
+//! 3D algorithm only wins constant factors. Table II gives (with constants
+//! `kappa`, `kappa_1`, `kappa_0` that the paper leaves symbolic):
+//!
+//! - `M_2D = n^(4/3) / P`
+//! - `M_3D = (n^(4/3)/P) (kappa Pz + Pz^(-1/3))`
+//! - `W_2D = n^(4/3) / sqrt(P)`
+//! - `W_3D = (n^(4/3)/sqrt(P)) (kappa_1 sqrt(Pz) + (1 - kappa_1) Pz^(-4/3))`
+//! - `L_2D = n`, `L_3D = n / Pz^(2/3) + kappa_0 n^(2/3)`
+//!
+//! We calibrate `kappa = 0.2` (the paper's "almost 20% of the LU factors
+//! are in the top separator") and `kappa_1 = 0.11` so that the best-case
+//! communication reduction over `Pz` equals the paper's stated `2.89x`.
+
+use crate::{Alg, CostPrediction};
+
+/// Fraction of LU-factor words in the top separator (paper §IV-C: ~20%).
+pub const KAPPA: f64 = 0.2;
+/// Fraction of 2D communication attributable to the replicated top levels;
+/// calibrated so `max_Pz W_2D / W_3D ~= 2.89` (paper §IV-C).
+pub const KAPPA_1: f64 = 0.11;
+/// Latency constant for the replicated-ancestor term.
+pub const KAPPA_0: f64 = 1.0;
+
+/// Cost model for a non-planar (3D geometry) model problem.
+#[derive(Clone, Copy, Debug)]
+pub struct NonPlanarModel {
+    pub n: f64,
+    pub p: f64,
+}
+
+impl NonPlanarModel {
+    pub fn new(n: f64, p: f64) -> Self {
+        assert!(n > 1.0 && p >= 1.0);
+        NonPlanarModel { n, p }
+    }
+
+    /// Per-process memory in words (Table II).
+    pub fn memory(&self, alg: Alg, pz: f64) -> f64 {
+        let lu = self.n.powf(4.0 / 3.0);
+        match alg {
+            Alg::TwoD => lu / self.p,
+            Alg::ThreeD => lu / self.p * (KAPPA * pz + pz.powf(-1.0 / 3.0)),
+        }
+    }
+
+    /// Per-process communication volume on the critical path, in words
+    /// (Table II).
+    pub fn comm(&self, alg: Alg, pz: f64) -> f64 {
+        let lu = self.n.powf(4.0 / 3.0);
+        match alg {
+            Alg::TwoD => lu / self.p.sqrt(),
+            Alg::ThreeD => {
+                lu / self.p.sqrt() * (KAPPA_1 * pz.sqrt() + (1.0 - KAPPA_1) * pz.powf(-4.0 / 3.0))
+            }
+        }
+    }
+
+    /// Messages on the critical path (Table II).
+    pub fn latency(&self, alg: Alg, pz: f64) -> f64 {
+        match alg {
+            Alg::TwoD => self.n,
+            Alg::ThreeD => self.n / pz.powf(2.0 / 3.0) + KAPPA_0 * self.n.powf(2.0 / 3.0),
+        }
+    }
+
+    /// Full prediction triple. `pz` is ignored for [`Alg::TwoD`].
+    pub fn predict(&self, alg: Alg, pz: f64) -> CostPrediction {
+        CostPrediction {
+            memory_words: self.memory(alg, pz),
+            comm_words: self.comm(alg, pz),
+            latency_msgs: self.latency(alg, pz),
+        }
+    }
+
+    /// The `Pz` (power of two, up to `max_pz`) minimizing predicted
+    /// communication.
+    pub fn best_pz_for_comm(&self, max_pz: usize) -> usize {
+        let mut best = (1usize, f64::INFINITY);
+        let mut pz = 1usize;
+        while pz <= max_pz {
+            let w = self.comm(Alg::ThreeD, pz as f64);
+            if w < best.1 {
+                best = (pz, w);
+            }
+            pz *= 2;
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_gain_calibrated_to_paper() {
+        // The continuous optimum should give roughly the paper's 2.89x.
+        let m = NonPlanarModel::new(1e7, 1e4);
+        let w2 = m.comm(Alg::TwoD, 1.0);
+        let mut best = 0.0f64;
+        let mut pz = 1.0;
+        while pz <= 64.0 {
+            best = best.max(w2 / m.comm(Alg::ThreeD, pz));
+            pz *= 1.25;
+        }
+        assert!((best - 2.89).abs() < 0.5, "best gain {best}");
+    }
+
+    #[test]
+    fn latency_reduction_grows_with_pz() {
+        let m = NonPlanarModel::new(1e6, 4096.0);
+        let l2 = m.latency(Alg::TwoD, 1.0);
+        let l8 = m.latency(Alg::ThreeD, 8.0);
+        let l64 = m.latency(Alg::ThreeD, 64.0);
+        assert!(l8 < l2 && l64 < l8);
+    }
+
+    #[test]
+    fn best_pz_is_interior() {
+        let m = NonPlanarModel::new(1e7, 1e4);
+        let pz = m.best_pz_for_comm(128);
+        assert!(pz >= 2 && pz <= 16, "pz={pz}");
+    }
+
+    #[test]
+    fn comm_at_pz1_matches_2d_up_to_model_constant() {
+        let m = NonPlanarModel::new(1e6, 256.0);
+        let w2 = m.comm(Alg::TwoD, 1.0);
+        let w3 = m.comm(Alg::ThreeD, 1.0);
+        assert!((w2 - w3).abs() / w2 < 1e-12);
+    }
+}

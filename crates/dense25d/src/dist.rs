@@ -1,0 +1,83 @@
+//! Block distribution of dense matrices over a 2D grid.
+
+use densela::Mat;
+
+/// A block-contiguous distribution of an `n x n` dense matrix over a
+/// `pr x pc` process grid: rank `(r, c)` owns the contiguous tile
+/// `rows [r*n/pr, (r+1)*n/pr) x cols [c*n/pc, (c+1)*n/pc)`.
+///
+/// `n` must be divisible by both grid dimensions (asserted), which keeps
+/// every tile the same shape — the standard SUMMA setup.
+#[derive(Clone, Copy, Debug)]
+pub struct DenseDist {
+    pub n: usize,
+    pub pr: usize,
+    pub pc: usize,
+}
+
+impl DenseDist {
+    pub fn new(n: usize, pr: usize, pc: usize) -> Self {
+        assert!(pr > 0 && pc > 0);
+        assert_eq!(n % pr, 0, "n must divide evenly over process rows");
+        assert_eq!(n % pc, 0, "n must divide evenly over process columns");
+        DenseDist { n, pr, pc }
+    }
+
+    /// Tile height (rows per rank).
+    pub fn tile_rows(&self) -> usize {
+        self.n / self.pr
+    }
+
+    /// Tile width (cols per rank).
+    pub fn tile_cols(&self) -> usize {
+        self.n / self.pc
+    }
+
+    /// Extract rank `(r, c)`'s tile from a full matrix (test/setup helper;
+    /// in a real code each rank would read its tile from disk).
+    pub fn tile_of(&self, full: &Mat, r: usize, c: usize) -> Mat {
+        assert_eq!(full.rows(), self.n);
+        assert_eq!(full.cols(), self.n);
+        full.block(
+            r * self.tile_rows(),
+            c * self.tile_cols(),
+            self.tile_rows(),
+            self.tile_cols(),
+        )
+    }
+
+    /// Assemble a full matrix from per-rank tiles indexed `[r][c]`
+    /// (test helper).
+    pub fn assemble(&self, tiles: &[Vec<Mat>]) -> Mat {
+        let mut full = Mat::zeros(self.n, self.n);
+        for (r, row) in tiles.iter().enumerate() {
+            for (c, t) in row.iter().enumerate() {
+                full.copy_block_from(t, r * self.tile_rows(), c * self.tile_cols());
+            }
+        }
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_roundtrip() {
+        let d = DenseDist::new(8, 2, 4);
+        let full = Mat::from_fn(8, 8, |i, j| (i * 10 + j) as f64);
+        let tiles: Vec<Vec<Mat>> = (0..2)
+            .map(|r| (0..4).map(|c| d.tile_of(&full, r, c)).collect())
+            .collect();
+        assert_eq!(tiles[1][3].rows(), 4);
+        assert_eq!(tiles[1][3].cols(), 2);
+        assert_eq!(d.assemble(&tiles), full);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn rejects_uneven_split() {
+        let _ = DenseDist::new(10, 3, 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! 2.5D dense matrix multiplication on the simulated machine.
+//!
+//! The paper's 3D sparse LU is "inspired by the 2.5D dense LU algorithm"
+//! (§I, citing Solomonik & Demmel): replicate data across `c` stacked 2D
+//! grids to cut per-process communication volume from `O(n²/sqrt(P))` to
+//! `O(n²/sqrt(cP))`. This crate implements the canonical dense instance —
+//! SUMMA matrix multiplication and its `c`-replicated 2.5D variant — on the
+//! same simulated machine as the sparse solver, so the tradeoff the paper
+//! builds on is *measurable* with the same counters:
+//!
+//! - per-rank SUMMA volume falls like `1/c` at fixed layer size
+//!   (equivalently `1/sqrt(cP)` at fixed total `P`) — the win — while
+//! - the replication and final-reduction steps add volume proportional to
+//!   `c`, producing the interior optimum in total traffic. For dense *LU*
+//!   (unlike GEMM) the panels are sequentially dependent, so replication
+//!   trades communication volume against latency (§VI: "communication
+//!   costs are inversely proportional to the latency costs") — the
+//!   limitation that motivated the paper's elimination-tree approach,
+//!   which cuts both at once.
+//!
+//! The `dense25d_study` bench binary prints the measured sweep.
+//!
+//! ```
+//! use dense25d::{summa_25d, DenseDist};
+//! use densela::Mat;
+//! use simgrid::topology::build_grid_comms;
+//! use simgrid::{Grid3d, Machine, TimeModel};
+//! use std::sync::Arc;
+//!
+//! let grid = Grid3d::new(2, 2, 2);
+//! let dist = DenseDist::new(8, 2, 2);
+//! let a = Arc::new(Mat::identity(8));
+//! let machine = Machine::new(grid.size(), TimeModel::zero());
+//! let out = machine.run(move |rank| {
+//!     let comms = build_grid_comms(rank, &grid);
+//!     let (r, c, z) = comms.coords;
+//!     let inputs = (z == 0).then(|| (dist.tile_of(&a, r, c), dist.tile_of(&a, r, c)));
+//!     summa_25d(rank, &comms, &dist, 2, inputs, 4).c_tile
+//! });
+//! // I * I = I: layer 0's (0,0) tile is the 4x4 identity.
+//! assert_eq!(out.results[0], Mat::identity(4));
+//! ```
+
+pub mod dist;
+pub mod summa;
+
+pub use dist::DenseDist;
+pub use summa::{summa_25d, summa_2d, Summa25dReport};

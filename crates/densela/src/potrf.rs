@@ -1,0 +1,197 @@
+//! Cholesky factorization of an SPD block: the diagonal kernel for the
+//! symmetric (LL^T) variant of the solver stack.
+//!
+//! The paper's §VII notes the 3D principles "could be applied to other
+//! variants of sparse factorization, such as Cholesky"; the `slu2d::cholseq`
+//! module builds that variant on this kernel.
+
+use crate::flops;
+use crate::matrix::Mat;
+
+/// Outcome of a Cholesky factorization attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PotrfInfo {
+    /// Index of the first non-positive pivot, if the matrix was not
+    /// numerically SPD. Factor content is undefined past this column.
+    pub not_spd_at: Option<usize>,
+}
+
+/// Factor the SPD matrix `a` in place as `A = L * L^T`. On exit the lower
+/// triangle holds `L` and the strict upper triangle holds `L^T` (mirrored),
+/// so the block can be consumed by the same triangular-solve kernels as an
+/// LU-format block.
+pub fn potrf(a: &mut Mat) -> PotrfInfo {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "potrf expects a square block");
+    for k in 0..n {
+        let mut d = a.at(k, k);
+        for j in 0..k {
+            let l = a.at(k, j);
+            d -= l * l;
+        }
+        if d <= 0.0 {
+            return PotrfInfo { not_spd_at: Some(k) };
+        }
+        let lkk = d.sqrt();
+        *a.at_mut(k, k) = lkk;
+        let inv = 1.0 / lkk;
+        for i in k + 1..n {
+            let mut v = a.at(i, k);
+            for j in 0..k {
+                v -= a.at(i, j) * a.at(k, j);
+            }
+            let lik = v * inv;
+            *a.at_mut(i, k) = lik;
+            *a.at_mut(k, i) = lik; // mirror for L^T consumers
+        }
+    }
+    flops::add(flops::getrf_flops(n, n) / 2);
+    PotrfInfo { not_spd_at: None }
+}
+
+/// Forward substitution `L y = b` for a single vector against a `potrf`
+/// factor (non-unit diagonal, unlike the LU kernels).
+pub fn chol_forward(l: &Mat, b: &mut [f64]) {
+    let n = l.rows();
+    assert_eq!(b.len(), n);
+    for k in 0..n {
+        b[k] /= l.at(k, k);
+        let xk = b[k];
+        for i in k + 1..n {
+            b[i] -= xk * l.at(i, k);
+        }
+    }
+    flops::add((n * n) as u64 / 2);
+}
+
+/// Backward substitution `L^T x = y` for a single vector against a `potrf`
+/// factor.
+pub fn chol_backward(l: &Mat, b: &mut [f64]) {
+    let n = l.rows();
+    assert_eq!(b.len(), n);
+    for k in (0..n).rev() {
+        let mut v = b[k];
+        for i in k + 1..n {
+            v -= l.at(i, k) * b[i];
+        }
+        b[k] = v / l.at(k, k);
+    }
+    flops::add((n * n) as u64 / 2);
+}
+
+/// In-place solve `X * L^T = B` (right solve against the transposed
+/// Cholesky factor): the panel kernel `L(I,k) = A(I,k) L_kk^{-T}`.
+pub fn trsm_right_ltrans(l: &Mat, b: &mut Mat) {
+    let n = l.rows();
+    assert_eq!(l.cols(), n);
+    assert_eq!(b.cols(), n, "rhs col count mismatch");
+    let m = b.rows();
+    // Column k of X: X(:,k) = (B(:,k) - sum_{j<k} X(:,j) L(k,j)) / L(k,k).
+    for k in 0..n {
+        for j in 0..k {
+            let lkj = l.at(k, j);
+            if lkj == 0.0 {
+                continue;
+            }
+            let (lo, hi) = b.as_mut_slice().split_at_mut(k * m);
+            let xj = &lo[j * m..(j + 1) * m];
+            let xk = &mut hi[..m];
+            for (bk, bj) in xk.iter_mut().zip(xj) {
+                *bk -= *bj * lkj;
+            }
+        }
+        let inv = 1.0 / l.at(k, k);
+        for v in b.col_mut(k) {
+            *v *= inv;
+        }
+    }
+    flops::add(flops::trsm_flops(n, m));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+
+    fn spd(n: usize) -> Mat {
+        // A^T A + n I is SPD.
+        let base = Mat::from_fn(n, n, |i, j| ((i * 3 + j * 7) % 5) as f64 / 5.0 - 0.3);
+        let mut m = Mat::zeros(n, n);
+        gemm(1.0, &base.transpose(), &base, 0.0, &mut m);
+        for i in 0..n {
+            *m.at_mut(i, i) += n as f64;
+        }
+        m
+    }
+
+    #[test]
+    fn reconstructs_a() {
+        let n = 12;
+        let a = spd(n);
+        let mut f = a.clone();
+        assert_eq!(potrf(&mut f).not_spd_at, None);
+        // L * L^T == A (read L from the lower triangle).
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = 0.0;
+                for k in 0..=i.min(j) {
+                    v += f.at(i, k) * f.at(j, k);
+                }
+                assert!((v - a.at(i, j)).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn mirrored_upper_triangle() {
+        let n = 6;
+        let mut f = spd(n);
+        potrf(&mut f);
+        for i in 0..n {
+            for j in 0..i {
+                assert_eq!(f.at(i, j), f.at(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        let n = 20;
+        let a = spd(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut b = a.matvec(&x_true);
+        let mut f = a.clone();
+        potrf(&mut f);
+        chol_forward(&f, &mut b);
+        chol_backward(&f, &mut b);
+        for i in 0..n {
+            assert!((b[i] - x_true[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut a = Mat::identity(3);
+        *a.at_mut(2, 2) = -1.0;
+        assert_eq!(potrf(&mut a).not_spd_at, Some(2));
+    }
+
+    #[test]
+    fn right_ltrans_panel_solve() {
+        let n = 8;
+        let a = spd(n);
+        let mut f = a.clone();
+        potrf(&mut f);
+        // Build B = X * L^T for known X, recover X.
+        let x_true = Mat::from_fn(5, n, |i, j| ((i + 2 * j) % 9) as f64 * 0.2 - 0.7);
+        let lt = Mat::from_fn(n, n, |i, j| if j >= i { f.at(j, i) } else { 0.0 });
+        let mut b = Mat::zeros(5, n);
+        gemm(1.0, &x_true, &lt, 0.0, &mut b);
+        trsm_right_ltrans(&f, &mut b);
+        for j in 0..n {
+            for i in 0..5 {
+                assert!((b.at(i, j) - x_true.at(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Multilevel graph bisection: coarsen → bisect → uncoarsen + refine.
+//!
+//! This is the METIS recipe: heavy-edge matching halves the graph until it
+//! is small, a graph-growing heuristic bisects the coarsest graph, and the
+//! partition is projected back up with Fiduccia–Mattheyses refinement at
+//! every level.
+
+use crate::bisect::{graph_growing_bisection, vertex_separator_from_bisection, Bisection};
+use crate::graph::Graph;
+use crate::refine::fm_refine;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Stop coarsening when the graph is this small.
+const COARSEST_SIZE: usize = 80;
+/// Stop coarsening when a round shrinks the graph by less than this factor
+/// (protects against matching-resistant graphs).
+const MIN_SHRINK: f64 = 0.9;
+/// FM passes per uncoarsening level.
+const REFINE_PASSES: usize = 4;
+
+/// One level of the coarsening hierarchy.
+struct CoarseLevel {
+    graph: Graph,
+    /// Map from fine vertex to coarse vertex of the *next* level.
+    fine_to_coarse: Vec<usize>,
+}
+
+/// Heavy-edge matching: visit vertices in random order; match each unmatched
+/// vertex with its unmatched neighbour of maximal edge weight. Returns the
+/// fine→coarse map and the coarse vertex count.
+fn heavy_edge_matching(g: &Graph, rng: &mut StdRng) -> (Vec<usize>, usize) {
+    let n = g.n();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut mate = vec![usize::MAX; n];
+    for &v in &order {
+        if mate[v] != usize::MAX {
+            continue;
+        }
+        let mut best = usize::MAX;
+        let mut best_w = 0u64;
+        for (u, w) in g.neighbors_weighted(v) {
+            if u != v && mate[u] == usize::MAX && w >= best_w {
+                best = u;
+                best_w = w;
+            }
+        }
+        if best != usize::MAX {
+            mate[v] = best;
+            mate[best] = v;
+        } else {
+            mate[v] = v; // stays single
+        }
+    }
+    // Assign coarse ids: the smaller endpoint of each pair names the pair.
+    let mut fine_to_coarse = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for v in 0..n {
+        if fine_to_coarse[v] != usize::MAX {
+            continue;
+        }
+        let m = mate[v];
+        fine_to_coarse[v] = next;
+        if m != v {
+            fine_to_coarse[m] = next;
+        }
+        next += 1;
+    }
+    (fine_to_coarse, next)
+}
+
+/// Build the coarse graph induced by a fine→coarse map, merging parallel
+/// edges (summing weights) and dropping self-loops.
+fn contract(g: &Graph, fine_to_coarse: &[usize], nc: usize) -> Graph {
+    let mut vwgt = vec![0u64; nc];
+    for v in 0..g.n() {
+        vwgt[fine_to_coarse[v]] += g.vwgt[v];
+    }
+    // Accumulate coarse adjacency.
+    let mut edges: Vec<HashMap<usize, u64>> = vec![HashMap::new(); nc];
+    for v in 0..g.n() {
+        let cv = fine_to_coarse[v];
+        for (u, w) in g.neighbors_weighted(v) {
+            let cu = fine_to_coarse[u];
+            if cu != cv {
+                *edges[cv].entry(cu).or_insert(0) += w;
+            }
+        }
+    }
+    let mut xadj = Vec::with_capacity(nc + 1);
+    let mut adj = Vec::new();
+    let mut ewgt = Vec::new();
+    xadj.push(0);
+    for e in &edges {
+        let mut row: Vec<(usize, u64)> = e.iter().map(|(&u, &w)| (u, w)).collect();
+        row.sort_unstable_by_key(|&(u, _)| u);
+        for (u, w) in row {
+            adj.push(u);
+            ewgt.push(w);
+        }
+        xadj.push(adj.len());
+    }
+    Graph {
+        xadj,
+        adj,
+        ewgt,
+        vwgt,
+    }
+}
+
+/// Multilevel edge bisection of `g`.
+pub fn multilevel_bisection(g: &Graph, seed: u64) -> Bisection {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Coarsening phase.
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut cur = g.clone();
+    while cur.n() > COARSEST_SIZE {
+        let (map, nc) = heavy_edge_matching(&cur, &mut rng);
+        if (nc as f64) > MIN_SHRINK * cur.n() as f64 {
+            break; // matching stalled
+        }
+        let coarse = contract(&cur, &map, nc);
+        levels.push(CoarseLevel {
+            graph: cur,
+            fine_to_coarse: map,
+        });
+        cur = coarse;
+    }
+
+    // Initial bisection at the coarsest level.
+    let mut bis = graph_growing_bisection(&cur, 6, seed ^ 0x9e3779b9);
+    fm_refine(&cur, &mut bis, REFINE_PASSES);
+
+    // Uncoarsening phase: project and refine.
+    while let Some(level) = levels.pop() {
+        let fine_side: Vec<u8> = (0..level.graph.n())
+            .map(|v| bis.side[level.fine_to_coarse[v]])
+            .collect();
+        bis = Bisection::recompute(&level.graph, fine_side);
+        fm_refine(&level.graph, &mut bis, REFINE_PASSES);
+    }
+    bis
+}
+
+/// Multilevel *vertex-separator* bisection: the entry point nested
+/// dissection uses for general graphs. Returns `assignment[v] in {0,1,2}`
+/// (2 = separator) and the separator size.
+pub fn multilevel_vertex_separator(g: &Graph, seed: u64) -> (Vec<u8>, usize) {
+    let bis = multilevel_bisection(g, seed);
+    vertex_separator_from_bisection(g, &bis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::matgen::{grid2d_5pt, grid3d_7pt};
+
+    #[test]
+    fn matching_halves_grid() {
+        let g = Graph::from_matrix(&grid2d_5pt(10, 10, 0.0, 0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let (map, nc) = heavy_edge_matching(&g, &mut rng);
+        assert!(nc >= 50 && nc <= 70, "nc={nc}");
+        // Weight conservation in contraction.
+        let cg = contract(&g, &map, nc);
+        assert_eq!(cg.total_vwgt(), 100);
+        assert!(cg.check_symmetric());
+    }
+
+    #[test]
+    fn multilevel_cut_near_optimal_on_grid() {
+        // A k x k grid has an optimal bisection cut of k.
+        let k = 24;
+        let g = Graph::from_matrix(&grid2d_5pt(k, k, 0.0, 0));
+        let bis = multilevel_bisection(&g, 7);
+        assert!(bis.imbalance() < 1.25, "imbalance {}", bis.imbalance());
+        assert!(
+            bis.cut <= 2 * k as u64,
+            "cut {} vs optimal {k}",
+            bis.cut
+        );
+    }
+
+    #[test]
+    fn separator_size_scales_like_sqrt_n_on_planar() {
+        // Doubling grid side should roughly double the separator (sqrt(n)).
+        let g1 = Graph::from_matrix(&grid2d_5pt(16, 16, 0.0, 0));
+        let g2 = Graph::from_matrix(&grid2d_5pt(32, 32, 0.0, 0));
+        let (_, s1) = multilevel_vertex_separator(&g1, 3);
+        let (_, s2) = multilevel_vertex_separator(&g2, 3);
+        assert!(s1 > 0 && s2 > 0);
+        let ratio = s2 as f64 / s1 as f64;
+        assert!(ratio > 1.0 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn separator_separates_3d() {
+        let g = Graph::from_matrix(&grid3d_7pt(6, 6, 6, 0.0, 0));
+        let (assign, sep) = multilevel_vertex_separator(&g, 11);
+        assert!(sep > 0);
+        for v in 0..g.n() {
+            if assign[v] == 2 {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if assign[u] != 2 {
+                    assert_eq!(assign[u], assign[v]);
+                }
+            }
+        }
+    }
+}

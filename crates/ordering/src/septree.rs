@@ -1,0 +1,330 @@
+//! The separator tree: output of nested dissection, input to the symbolic
+//! phase and the 3D algorithm's tree partitioner.
+
+use sparsemat::Perm;
+use std::ops::Range;
+
+/// One node of the separator tree: either an internal separator or a leaf
+/// subdomain.
+#[derive(Clone, Debug)]
+pub struct SepNode {
+    /// Parent node index, `None` for the root.
+    pub parent: Option<usize>,
+    /// Child node indices (empty for leaves; usually 2, possibly more when a
+    /// subgraph fell apart into components).
+    pub children: Vec<usize>,
+    /// Half-open range of *new* (post-permutation) column indices owned by
+    /// this node. Children always occupy lower ranges than their parent
+    /// (required for bottom-up elimination order). May be empty for an
+    /// empty separator of a disconnected subgraph.
+    pub cols: Range<usize>,
+    /// Depth from the root (root = 0) — the level index used throughout the
+    /// paper's analysis.
+    pub level: usize,
+    /// True for leaf subdomains (no further dissection).
+    pub is_leaf: bool,
+}
+
+impl SepNode {
+    /// Number of vertices owned by this node.
+    pub fn width(&self) -> usize {
+        self.cols.end - self.cols.start
+    }
+}
+
+/// The complete nested-dissection result: nodes in **postorder** (every
+/// child precedes its parent; the root is last) plus the fill-reducing
+/// permutation.
+#[derive(Clone, Debug)]
+pub struct SepTree {
+    pub nodes: Vec<SepNode>,
+    pub perm: Perm,
+}
+
+impl SepTree {
+    /// The root node index (always the last node).
+    pub fn root(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Height of the tree (max level + 1).
+    pub fn height(&self) -> usize {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0) + 1
+    }
+
+    /// Sizes of separators by level: `sizes[level] = total vertices in
+    /// separator nodes at that level`. Used to compare measured separator
+    /// growth against the `sqrt(n / 2^i)` planar model.
+    pub fn separator_sizes_by_level(&self) -> Vec<usize> {
+        let h = self.height();
+        let mut sizes = vec![0usize; h];
+        for node in &self.nodes {
+            if !node.is_leaf {
+                sizes[node.level] += node.width();
+            }
+        }
+        sizes
+    }
+
+    /// Validate all structural invariants; called by tests and debug
+    /// assertions:
+    /// 1. nodes are in postorder (children before parents),
+    /// 2. column ranges of children are below their parent's,
+    /// 3. the column ranges of all nodes exactly tile `0..n`,
+    /// 4. parent/child links are mutually consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n();
+        let mut covered = vec![false; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &c in &node.children {
+                if c >= i {
+                    return Err(format!("child {c} does not precede parent {i}"));
+                }
+                if self.nodes[c].parent != Some(i) {
+                    return Err(format!("child {c} has wrong parent link"));
+                }
+                if self.nodes[c].cols.end > node.cols.start {
+                    return Err(format!(
+                        "child {c} range {:?} not below parent {i} range {:?}",
+                        self.nodes[c].cols, node.cols
+                    ));
+                }
+                if self.nodes[c].level != node.level + 1 {
+                    return Err(format!("child {c} level inconsistent"));
+                }
+            }
+            if let Some(p) = node.parent {
+                if !self.nodes[p].children.contains(&i) {
+                    return Err(format!("parent {p} missing child link to {i}"));
+                }
+            } else if i != self.root() {
+                return Err(format!("non-root node {i} has no parent"));
+            }
+            for k in node.cols.clone() {
+                if covered[k] {
+                    return Err(format!("column {k} covered twice"));
+                }
+                covered[k] = true;
+            }
+            if node.is_leaf != node.children.is_empty() {
+                return Err(format!("node {i} leaf flag inconsistent"));
+            }
+        }
+        if let Some(k) = covered.iter().position(|&c| !c) {
+            return Err(format!("column {k} not covered by any node"));
+        }
+        Ok(())
+    }
+}
+
+impl SepTree {
+    /// Relaxed-supernode amalgamation: collapse every subtree whose total
+    /// column count is at most `max_merged` into a single leaf node.
+    ///
+    /// SuperLU_DIST applies the same relaxation to the bottom of the
+    /// elimination tree: tiny supernodes waste panel setup and message
+    /// latency, so merging them (accepting the extra fill inside the merged
+    /// block) is a net win. Subtree column ranges are contiguous by
+    /// construction (postorder numbering), so a merge is just a range
+    /// union; the permutation is unchanged.
+    pub fn amalgamate(&self, max_merged: usize) -> SepTree {
+        let n_nodes = self.nodes.len();
+        // Subtree column spans (contiguous: leftmost descendant start to
+        // own end) and widths.
+        let mut span_start: Vec<usize> = (0..n_nodes).map(|i| self.nodes[i].cols.start).collect();
+        for i in 0..n_nodes {
+            for &c in &self.nodes[i].children {
+                span_start[i] = span_start[i].min(span_start[c]);
+            }
+        }
+        // A node becomes a merged leaf when its whole subtree fits and its
+        // parent's doesn't (top-most such node).
+        let subtree_width =
+            |i: usize| -> usize { self.nodes[i].cols.end - span_start[i] };
+        let merged_root: Vec<bool> = (0..n_nodes)
+            .map(|i| {
+                let parent_fits = self.nodes[i]
+                    .parent
+                    .map(|p| subtree_width(p) <= max_merged)
+                    .unwrap_or(false);
+                subtree_width(i) <= max_merged && !parent_fits
+            })
+            .collect();
+        // Rebuild, dropping descendants of merged roots. Postorder of the
+        // original tree restricted to surviving nodes is still a postorder.
+        let mut new_index = vec![usize::MAX; n_nodes];
+        let mut nodes: Vec<SepNode> = Vec::new();
+        // Determine dropped nodes top-down (walk from each merged root).
+        let mut drop = vec![false; n_nodes];
+        for (i, &is_root) in merged_root.iter().enumerate() {
+            if is_root {
+                let mut stack = self.nodes[i].children.clone();
+                while let Some(v) = stack.pop() {
+                    drop[v] = true;
+                    stack.extend_from_slice(&self.nodes[v].children);
+                }
+            }
+        }
+        for i in 0..n_nodes {
+            if drop[i] {
+                continue;
+            }
+            let old = &self.nodes[i];
+            let idx = nodes.len();
+            new_index[i] = idx;
+            let (cols, children, is_leaf) = if merged_root[i] {
+                (span_start[i]..old.cols.end, Vec::new(), true)
+            } else {
+                (
+                    old.cols.clone(),
+                    old.children.iter().map(|&c| new_index[c]).collect(),
+                    old.is_leaf,
+                )
+            };
+            nodes.push(SepNode {
+                parent: None, // fixed below
+                children,
+                cols,
+                level: old.level,
+                is_leaf,
+            });
+        }
+        // Restore parent links and re-normalize levels (depth from root).
+        for i in 0..nodes.len() {
+            for ci in 0..nodes[i].children.len() {
+                let c = nodes[i].children[ci];
+                nodes[c].parent = Some(i);
+            }
+        }
+        let root = nodes.len() - 1;
+        fix_levels(&mut nodes, root, 0);
+        let tree = SepTree {
+            nodes,
+            perm: self.perm.clone(),
+        };
+        debug_assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+        tree
+    }
+}
+
+fn fix_levels(nodes: &mut [SepNode], v: usize, level: usize) {
+    nodes[v].level = level;
+    let children = nodes[v].children.clone();
+    for c in children {
+        fix_levels(nodes, c, level + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built 3-node tree: two leaves + root separator.
+    fn tiny_tree() -> SepTree {
+        SepTree {
+            nodes: vec![
+                SepNode {
+                    parent: Some(2),
+                    children: vec![],
+                    cols: 0..3,
+                    level: 1,
+                    is_leaf: true,
+                },
+                SepNode {
+                    parent: Some(2),
+                    children: vec![],
+                    cols: 3..6,
+                    level: 1,
+                    is_leaf: true,
+                },
+                SepNode {
+                    parent: None,
+                    children: vec![0, 1],
+                    cols: 6..8,
+                    level: 0,
+                    is_leaf: false,
+                },
+            ],
+            perm: Perm::identity(8),
+        }
+    }
+
+    #[test]
+    fn tiny_tree_validates() {
+        let t = tiny_tree();
+        assert!(t.validate().is_ok());
+        assert_eq!(t.root(), 2);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.separator_sizes_by_level(), vec![2, 0]);
+    }
+
+    #[test]
+    fn validation_catches_overlap() {
+        let mut t = tiny_tree();
+        t.nodes[1].cols = 2..6; // overlaps node 0
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn amalgamate_merges_small_subtrees() {
+        // tiny_tree has two 3-wide leaves + 2-wide root; total width 8.
+        let t = tiny_tree();
+        // Threshold below any subtree: unchanged structure.
+        let same = t.amalgamate(2);
+        assert_eq!(same.nodes.len(), 3);
+        same.validate().unwrap();
+        // Threshold covering everything: the whole tree becomes one leaf.
+        let one = t.amalgamate(8);
+        assert_eq!(one.nodes.len(), 1);
+        assert!(one.nodes[0].is_leaf);
+        assert_eq!(one.nodes[0].cols, 0..8);
+        one.validate().unwrap();
+        // Threshold covering just the leaves: no change (leaves already
+        // minimal; merging a leaf alone is a no-op structurally).
+        let leaves = t.amalgamate(3);
+        assert_eq!(leaves.nodes.len(), 3);
+        leaves.validate().unwrap();
+    }
+
+    #[test]
+    fn amalgamate_on_real_nd_tree() {
+        use crate::graph::Graph;
+        use crate::nd::{nested_dissection, NdOptions};
+        use sparsemat::matgen::grid2d_5pt;
+        use sparsemat::testmats::Geometry;
+        let a = grid2d_5pt(16, 16, 0.0, 0);
+        let g = Graph::from_matrix(&a);
+        let tree = nested_dissection(
+            &g,
+            NdOptions {
+                leaf_size: 4,
+                geometry: Geometry::Grid2d { nx: 16, ny: 16 },
+                ..Default::default()
+            },
+        );
+        let before = tree.nodes.len();
+        let merged = tree.amalgamate(24);
+        merged.validate().unwrap();
+        assert!(merged.nodes.len() < before, "{} !< {before}", merged.nodes.len());
+        // Permutation unchanged; every merged leaf within the bound.
+        assert_eq!(merged.perm, tree.perm);
+        for node in &merged.nodes {
+            if node.is_leaf {
+                assert!(node.width() <= 24);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_order() {
+        let mut t = tiny_tree();
+        t.nodes[2].cols = 0..2;
+        t.nodes[0].cols = 6..8; // child range above parent
+        assert!(t.validate().is_err());
+    }
+}

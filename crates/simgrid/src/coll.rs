@@ -1,0 +1,188 @@
+//! Collective operations built on point-to-point messages.
+//!
+//! Implemented with the classical tree algorithms so the simulated message
+//! counts and critical-path latency match what an MPI library would incur:
+//!
+//! - broadcast / reduce: binomial trees, `ceil(log2 p)` rounds,
+//! - barrier: dissemination algorithm, `ceil(log2 p)` rounds,
+//! - allreduce: reduce-to-root followed by broadcast.
+//!
+//! Tags are namespaced under high bits so collective traffic can never
+//! collide with user point-to-point tags on the same communicator.
+
+use crate::comm::Comm;
+use crate::payload::Payload;
+use crate::rank::Rank;
+
+/// High-bit namespace for collective-internal tags.
+const COLL_TAG: u64 = 1 << 62;
+
+impl Rank {
+    /// Broadcast from `root` (local rank) to every member of `comm`.
+    /// `data` must be `Some` on the root and is ignored elsewhere. Every
+    /// rank returns the broadcast payload. Binomial tree: `p - 1` messages
+    /// total, `ceil(log2 p)` on the critical path.
+    pub fn bcast(&mut self, comm: &Comm, root: usize, data: Option<Payload>, tag: u64) -> Payload {
+        let p = comm.size();
+        assert!(root < p, "bcast root out of range");
+        let tag = COLL_TAG | tag;
+        // Rotate so the root is relative rank 0.
+        let relative = (comm.local_rank() + p - root) % p;
+
+        // Receive from parent (clear the lowest set bit), unless root.
+        let mut mask = 1usize;
+        let payload;
+        if relative == 0 {
+            payload = data.expect("bcast root must supply data");
+            while mask < p {
+                mask <<= 1;
+            }
+        } else {
+            loop {
+                if relative & mask != 0 {
+                    let src = ((relative - mask) + root) % p;
+                    payload = self.recv(comm, src, tag);
+                    break;
+                }
+                mask <<= 1;
+            }
+        }
+        // Forward to children in decreasing bit order. Every bit below my
+        // lowest set bit addresses a distinct child subtree.
+        let mut bit = mask >> 1;
+        while bit > 0 {
+            if relative + bit < p {
+                let dst = ((relative + bit) + root) % p;
+                self.send(comm, dst, tag, payload.clone());
+            }
+            bit >>= 1;
+        }
+        payload
+    }
+
+    /// Elementwise-sum reduction of `data` to `root` (local rank). Returns
+    /// `Some(sum)` on the root, `None` elsewhere. Binomial tree with a
+    /// deterministic combine order, so results are bitwise reproducible for
+    /// a fixed communicator size.
+    pub fn reduce_sum(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Vec<f64>,
+        tag: u64,
+    ) -> Option<Vec<f64>> {
+        let p = comm.size();
+        assert!(root < p, "reduce root out of range");
+        let tag = COLL_TAG | tag;
+        let relative = (comm.local_rank() + p - root) % p;
+        let mut acc = data;
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask == 0 {
+                let child = relative | mask;
+                if child < p {
+                    let src = (child + root) % p;
+                    let v = self.recv(comm, src, tag).into_f64s();
+                    assert_eq!(v.len(), acc.len(), "reduce_sum operand length mismatch");
+                    for (a, b) in acc.iter_mut().zip(v) {
+                        *a += b;
+                    }
+                }
+            } else {
+                let parent = relative & !mask;
+                let dst = (parent + root) % p;
+                self.send(comm, dst, tag, Payload::F64s(acc));
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Allreduce (sum): reduce to local rank 0, then broadcast.
+    pub fn allreduce_sum(&mut self, comm: &Comm, data: Vec<f64>, tag: u64) -> Vec<f64> {
+        let reduced = self.reduce_sum(comm, 0, data, tag);
+        self.bcast(comm, 0, reduced.map(Payload::F64s), tag ^ 0x5555)
+            .into_f64s()
+    }
+
+    /// Maximum-allreduce of a single value (used for load statistics and
+    /// convergence checks).
+    pub fn allreduce_max(&mut self, comm: &Comm, value: f64, tag: u64) -> f64 {
+        let p = comm.size();
+        let rtag = COLL_TAG | tag | (1 << 61);
+        let relative = comm.local_rank();
+        let mut acc = value;
+        let mut mask = 1usize;
+        let mut is_root = true;
+        while mask < p {
+            if relative & mask == 0 {
+                let child = relative | mask;
+                if child < p {
+                    let v = self.recv(comm, child, rtag).into_f64s();
+                    acc = acc.max(v[0]);
+                }
+            } else {
+                let parent = relative & !mask;
+                self.send(comm, parent, rtag, Payload::F64s(vec![acc]));
+                is_root = false;
+                break;
+            }
+            mask <<= 1;
+        }
+        let out = if is_root { Some(Payload::F64s(vec![acc])) } else { None };
+        self.bcast(comm, 0, out, tag ^ 0x3333).into_f64s()[0]
+    }
+
+    /// Dissemination barrier: `ceil(log2 p)` rounds of paired empty
+    /// messages. Synchronizes simulated clocks (up to the model's transfer
+    /// charges) — this is where load imbalance becomes visible
+    /// synchronization time.
+    pub fn barrier(&mut self, comm: &Comm, tag: u64) {
+        let p = comm.size();
+        if p <= 1 {
+            return;
+        }
+        let tag = COLL_TAG | tag | (1 << 60);
+        let me = comm.local_rank();
+        let mut round = 0u64;
+        let mut dist = 1usize;
+        while dist < p {
+            let dst = (me + dist) % p;
+            let src = (me + p - dist) % p;
+            self.send(comm, dst, tag + round, Payload::Empty);
+            let _ = self.recv(comm, src, tag + round);
+            dist <<= 1;
+            round += 1;
+        }
+    }
+
+    /// Gather variable-length f64 payloads to `root`; returns `Some(vec of
+    /// per-local-rank data)` on the root. Linear algorithm (`p - 1` messages
+    /// to the root); used for result collection, never inside the
+    /// factorization inner loops.
+    pub fn gather_f64(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Vec<f64>,
+        tag: u64,
+    ) -> Option<Vec<Vec<f64>>> {
+        let p = comm.size();
+        let tag = COLL_TAG | tag | (1 << 59);
+        let me = comm.local_rank();
+        if me == root {
+            let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+            out[root] = data;
+            for src in 0..p {
+                if src != root {
+                    out[src] = self.recv(comm, src, tag).into_f64s();
+                }
+            }
+            Some(out)
+        } else {
+            self.send(comm, root, tag, Payload::F64s(data));
+            None
+        }
+    }
+}

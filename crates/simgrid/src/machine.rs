@@ -1,0 +1,306 @@
+//! The machine driver: spawns one thread per simulated rank, runs the SPMD
+//! closure, and collects results plus per-rank reports.
+
+use crate::rank::{Msg, Rank};
+use crate::stats::{RankReport, TrafficSummary};
+use crate::timemodel::TimeModel;
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A simulated distributed-memory machine with a fixed rank count and
+/// machine model. Cheap to construct; each [`Machine::run`] spawns fresh
+/// threads and channels.
+#[derive(Clone, Copy, Debug)]
+pub struct Machine {
+    nranks: usize,
+    model: TimeModel,
+    tracing: bool,
+}
+
+/// The outcome of one SPMD run.
+#[derive(Debug)]
+pub struct RunResult<T> {
+    /// Per-rank return values, indexed by world rank.
+    pub results: Vec<T>,
+    /// Per-rank traffic/time reports, indexed by world rank.
+    pub reports: Vec<RankReport>,
+}
+
+impl<T> RunResult<T> {
+    /// Aggregate the per-rank reports.
+    pub fn summary(&self) -> TrafficSummary {
+        TrafficSummary::from_reports(&self.reports)
+    }
+}
+
+impl Machine {
+    /// A machine with `nranks` simulated processes. Panics if `nranks == 0`.
+    pub fn new(nranks: usize, model: TimeModel) -> Self {
+        assert!(nranks > 0, "machine needs at least one rank");
+        Machine {
+            nranks,
+            model,
+            tracing: false,
+        }
+    }
+
+    /// Enable per-rank event tracing (see [`crate::trace`]). Costs memory
+    /// proportional to the number of operations; off by default.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Number of simulated ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The machine model.
+    pub fn model(&self) -> TimeModel {
+        self.model
+    }
+
+    /// Run `f` as an SPMD program: one OS thread per rank, every thread
+    /// calls `f(&mut rank)`. Blocks until all ranks return. A panic on any
+    /// rank propagates (poisoning the run) so protocol bugs fail tests.
+    pub fn run<T, F>(&self, f: F) -> RunResult<T>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Rank) -> T + Send + Sync + 'static,
+    {
+        let n = self.nranks;
+        let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let f = Arc::new(f);
+        let model = self.model;
+        let tracing = self.tracing;
+
+        let mut handles = Vec::with_capacity(n);
+        for (world_rank, inbox) in receivers.into_iter().enumerate() {
+            let senders = Arc::clone(&senders);
+            let f = Arc::clone(&f);
+            let handle = std::thread::Builder::new()
+                .name(format!("simrank-{world_rank}"))
+                // Factorization recursion and big local buffers: give each
+                // simulated rank a roomy stack.
+                .stack_size(16 << 20)
+                .spawn(move || {
+                    let started = Instant::now();
+                    let mut rank = Rank::new(world_rank, n, senders, inbox, model, tracing);
+                    let out = f(&mut rank);
+                    let wall = started.elapsed().as_secs_f64();
+                    (out, rank.into_report(wall))
+                })
+                .expect("failed to spawn simulated rank");
+            handles.push(handle);
+        }
+
+        let mut results = Vec::with_capacity(n);
+        let mut reports = Vec::with_capacity(n);
+        for (world_rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok((out, report)) => {
+                    results.push(out);
+                    reports.push(report);
+                }
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .map(|s| s.as_str())
+                        .or_else(|| e.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!("simulated rank {world_rank} panicked: {msg}");
+                }
+            }
+        }
+        RunResult { results, reports }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::Payload;
+
+    #[test]
+    fn ring_exchange() {
+        let m = Machine::new(5, TimeModel::zero());
+        let out = m.run(|rank| {
+            let world = rank.world();
+            let right = (rank.id() + 1) % 5;
+            let left = (rank.id() + 4) % 5;
+            rank.send(&world, right, 1, Payload::Idx(vec![rank.id()]));
+            rank.recv(&world, left, 1).into_idx()[0]
+        });
+        assert_eq!(out.results, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_order_delivery_is_buffered() {
+        // Rank 0 sends two differently tagged messages; rank 1 receives them
+        // in the opposite order.
+        let m = Machine::new(2, TimeModel::zero());
+        let out = m.run(|rank| {
+            let world = rank.world();
+            if rank.id() == 0 {
+                rank.send(&world, 1, 10, Payload::F64s(vec![1.0]));
+                rank.send(&world, 1, 20, Payload::F64s(vec![2.0]));
+                0.0
+            } else {
+                let b = rank.recv(&world, 0, 20).into_f64s()[0];
+                let a = rank.recv(&world, 0, 10).into_f64s()[0];
+                a * 10.0 + b
+            }
+        });
+        assert_eq!(out.results[1], 12.0);
+    }
+
+    #[test]
+    fn bcast_all_sizes_all_roots() {
+        for p in 1..=9usize {
+            for root in 0..p {
+                let m = Machine::new(p, TimeModel::zero());
+                let out = m.run(move |rank| {
+                    let world = rank.world();
+                    let data = if rank.world().local_rank() == root {
+                        Some(Payload::F64s(vec![42.0, 7.0]))
+                    } else {
+                        None
+                    };
+                    rank.bcast(&world, root, data, 3).into_f64s()
+                });
+                for r in &out.results {
+                    assert_eq!(r, &vec![42.0, 7.0], "p={p} root={root}");
+                }
+                // Binomial tree sends exactly p-1 messages.
+                let total: u64 = out.reports.iter().map(|r| r.total_sent_msgs()).sum();
+                assert_eq!(total, (p - 1) as u64, "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_all_sizes_all_roots() {
+        for p in 1..=9usize {
+            for root in 0..p {
+                let m = Machine::new(p, TimeModel::zero());
+                let out = m.run(move |rank| {
+                    let world = rank.world();
+                    let data = vec![rank.id() as f64, 1.0];
+                    rank.reduce_sum(&world, root, data, 5)
+                });
+                let expected0 = (0..p).sum::<usize>() as f64;
+                for (i, r) in out.results.iter().enumerate() {
+                    if i == root {
+                        assert_eq!(r.as_ref().unwrap(), &vec![expected0, p as f64]);
+                    } else {
+                        assert!(r.is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_and_barrier() {
+        let m = Machine::new(6, TimeModel::zero());
+        let out = m.run(|rank| {
+            let world = rank.world();
+            rank.barrier(&world, 0);
+            let s = rank.allreduce_sum(&world, vec![1.0], 9)[0];
+            let mx = rank.allreduce_max(&world, rank.id() as f64, 11);
+            (s, mx)
+        });
+        for &(s, mx) in &out.results {
+            assert_eq!(s, 6.0);
+            assert_eq!(mx, 5.0);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let m = Machine::new(4, TimeModel::zero());
+        let out = m.run(|rank| {
+            let world = rank.world();
+            rank.gather_f64(&world, 2, vec![rank.id() as f64; rank.id() + 1], 1)
+        });
+        let g = out.results[2].as_ref().unwrap();
+        for (i, v) in g.iter().enumerate() {
+            assert_eq!(v.len(), i + 1);
+            assert!(v.iter().all(|&x| x == i as f64));
+        }
+    }
+
+    #[test]
+    fn subset_communicators_isolate_traffic() {
+        let m = Machine::new(4, TimeModel::zero());
+        let out = m.run(|rank| {
+            // Split into even/odd pairs; same tags on both communicators.
+            let evens = [0usize, 2];
+            let odds = [1usize, 3];
+            let mine = if rank.id() % 2 == 0 { &evens[..] } else { &odds[..] };
+            let other = if rank.id() % 2 == 0 { &odds[..] } else { &evens[..] };
+            // SPMD discipline: create in the same order everywhere.
+            let (c_even, c_odd) = if rank.id() % 2 == 0 {
+                let a = rank.subset(mine);
+                let b = rank.subset(other);
+                (a, b)
+            } else {
+                let a = rank.subset(other);
+                let b = rank.subset(mine);
+                (a, b)
+            };
+            let comm = c_even.or(c_odd).unwrap();
+            let peer = 1 - comm.local_rank();
+            rank.send(&comm, peer, 77, Payload::Idx(vec![rank.id()]));
+            rank.recv(&comm, peer, 77).into_idx()[0]
+        });
+        assert_eq!(out.results, vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn clocks_model_alpha_beta() {
+        let model = TimeModel {
+            alpha: 1.0,
+            beta: 0.1,
+            flops_per_sec: 1.0,
+        };
+        let m = Machine::new(2, model);
+        let out = m.run(|rank| {
+            let world = rank.world();
+            if rank.id() == 0 {
+                rank.advance_compute(10); // clock = 10
+                rank.send(&world, 1, 0, Payload::F64s(vec![0.0; 10])); // +2 -> 12, arrival 12
+                rank.clock()
+            } else {
+                rank.recv(&world, 0, 0); // ready at 12, +2 transfer = 14
+                rank.clock()
+            }
+        });
+        assert!((out.results[0] - 12.0).abs() < 1e-12);
+        assert!((out.results[1] - 14.0).abs() < 1e-12);
+        assert!((out.reports[1].t_comm - 14.0).abs() < 1e-12);
+        assert!((out.reports[0].t_comp - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn rank_panic_propagates() {
+        let m = Machine::new(2, TimeModel::zero());
+        let _ = m.run(|rank| {
+            if rank.id() == 1 {
+                panic!("boom");
+            }
+            // rank 0 must terminate too: it does nothing and returns.
+            0
+        });
+    }
+}

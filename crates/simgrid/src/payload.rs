@@ -1,0 +1,91 @@
+//! Message payloads and their word accounting.
+
+/// Data carried by one simulated message.
+///
+/// The word count (8-byte units, matching the paper's "number of words
+/// sent") is what the traffic counters and the β term of the time model
+/// charge for.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// No data: synchronization-only messages (barriers).
+    Empty,
+    /// Numeric data (matrix blocks, reduction operands).
+    F64s(Vec<f64>),
+    /// Index data (block ids, structural metadata).
+    Idx(Vec<usize>),
+    /// A structural header plus numeric body, sent as one message — the
+    /// shape of a packed supernodal panel (block ids + block values).
+    Packed { meta: Vec<usize>, data: Vec<f64> },
+}
+
+impl Payload {
+    /// Number of 8-byte words this payload occupies on the wire.
+    pub fn words(&self) -> u64 {
+        match self {
+            Payload::Empty => 0,
+            Payload::F64s(v) => v.len() as u64,
+            Payload::Idx(v) => v.len() as u64,
+            Payload::Packed { meta, data } => (meta.len() + data.len()) as u64,
+        }
+    }
+
+    /// Unwrap an `F64s` payload; panics on other variants (a protocol error
+    /// in SPMD code, always a bug).
+    pub fn into_f64s(self) -> Vec<f64> {
+        match self {
+            Payload::F64s(v) => v,
+            other => panic!("expected F64s payload, got {:?}", kind(&other)),
+        }
+    }
+
+    /// Unwrap an `Idx` payload.
+    pub fn into_idx(self) -> Vec<usize> {
+        match self {
+            Payload::Idx(v) => v,
+            other => panic!("expected Idx payload, got {:?}", kind(&other)),
+        }
+    }
+
+    /// Unwrap a `Packed` payload.
+    pub fn into_packed(self) -> (Vec<usize>, Vec<f64>) {
+        match self {
+            Payload::Packed { meta, data } => (meta, data),
+            other => panic!("expected Packed payload, got {:?}", kind(&other)),
+        }
+    }
+}
+
+fn kind(p: &Payload) -> &'static str {
+    match p {
+        Payload::Empty => "Empty",
+        Payload::F64s(_) => "F64s",
+        Payload::Idx(_) => "Idx",
+        Payload::Packed { .. } => "Packed",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_counts() {
+        assert_eq!(Payload::Empty.words(), 0);
+        assert_eq!(Payload::F64s(vec![0.0; 5]).words(), 5);
+        assert_eq!(Payload::Idx(vec![0; 3]).words(), 3);
+        assert_eq!(
+            Payload::Packed {
+                meta: vec![1, 2],
+                data: vec![0.0; 10]
+            }
+            .words(),
+            12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F64s")]
+    fn wrong_unwrap_panics() {
+        Payload::Empty.into_f64s();
+    }
+}

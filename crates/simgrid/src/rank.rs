@@ -1,0 +1,276 @@
+//! The per-rank execution context: point-to-point messaging, clocks, and
+//! counters.
+
+use crate::comm::Comm;
+use crate::payload::Payload;
+use crate::stats::{PhaseCounter, RankReport};
+use crate::timemodel::TimeModel;
+use crate::trace::{EventKind, TraceEvent};
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocking receive waits before declaring the run deadlocked.
+/// Generous enough for heavily oversubscribed benchmark runs, small enough
+/// that a protocol bug fails a test instead of hanging CI forever. Override
+/// with `SALU_RECV_TIMEOUT_SECS` for very large oversubscribed runs.
+fn recv_timeout() -> Duration {
+    static SECS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    let secs = *SECS.get_or_init(|| {
+        std::env::var("SALU_RECV_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300)
+    });
+    Duration::from_secs(secs)
+}
+
+/// A message in flight.
+#[derive(Debug)]
+pub(crate) struct Msg {
+    pub src_world: usize,
+    pub ctx: u64,
+    pub tag: u64,
+    /// Simulated time at which this message is available to the receiver.
+    pub arrival: f64,
+    pub payload: Payload,
+}
+
+/// The execution context handed to the SPMD closure for each simulated rank.
+///
+/// All communication and time accounting flows through methods on this type.
+pub struct Rank {
+    world_rank: usize,
+    world_size: usize,
+    senders: Arc<Vec<Sender<Msg>>>,
+    inbox: Receiver<Msg>,
+    /// Messages received from the channel but not yet matched by a `recv`.
+    pending: HashMap<(u64, usize, u64), VecDeque<Msg>>,
+    model: TimeModel,
+    /// Monotonic counter for deterministic communicator context ids; all
+    /// ranks create communicators in the same order (SPMD discipline).
+    next_ctx: u64,
+    phase: String,
+    traffic: HashMap<String, PhaseCounter>,
+    clock: f64,
+    t_comm: f64,
+    t_comp: f64,
+    flops: u64,
+    peak_mem: u64,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Rank {
+    pub(crate) fn new(
+        world_rank: usize,
+        world_size: usize,
+        senders: Arc<Vec<Sender<Msg>>>,
+        inbox: Receiver<Msg>,
+        model: TimeModel,
+        tracing: bool,
+    ) -> Self {
+        Rank {
+            world_rank,
+            world_size,
+            senders,
+            inbox,
+            pending: HashMap::new(),
+            model,
+            next_ctx: 1, // 0 is reserved for the world communicator
+            phase: "default".to_string(),
+            traffic: HashMap::new(),
+            clock: 0.0,
+            t_comm: 0.0,
+            t_comp: 0.0,
+            flops: 0,
+            peak_mem: 0,
+            trace: if tracing { Some(Vec::new()) } else { None },
+        }
+    }
+
+    /// Append a traced interval, merging contiguous events of the same kind.
+    #[inline]
+    fn record(&mut self, start: f64, end: f64, kind: EventKind) {
+        if let Some(trace) = &mut self.trace {
+            if end <= start {
+                return;
+            }
+            if let Some(last) = trace.last_mut() {
+                if last.kind == kind && (start - last.end).abs() < 1e-15 {
+                    last.end = end;
+                    return;
+                }
+            }
+            trace.push(TraceEvent { start, end, kind });
+        }
+    }
+
+    /// This rank's world rank.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Total number of ranks on the machine.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.world_size
+    }
+
+    /// The machine model in effect.
+    pub fn model(&self) -> TimeModel {
+        self.model
+    }
+
+    /// The world communicator containing every rank.
+    pub fn world(&self) -> Comm {
+        Comm {
+            ctx: 0,
+            members: Arc::new((0..self.world_size).collect()),
+            my_local: self.world_rank,
+        }
+    }
+
+    /// Create a sub-communicator from an explicit member list (world ranks,
+    /// in local-rank order). **Collective**: every rank of the world must
+    /// call `subset` in the same order with the same `members` so context
+    /// ids line up (MPI_Comm_create semantics). Returns `None` for
+    /// non-members, who must still call this method.
+    pub fn subset(&mut self, members: &[usize]) -> Option<Comm> {
+        let ctx = self.next_ctx;
+        self.next_ctx += 1;
+        let my_local = members.iter().position(|&w| w == self.world_rank)?;
+        Some(Comm {
+            ctx,
+            members: Arc::new(members.to_vec()),
+            my_local,
+        })
+    }
+
+    /// Set the traffic-accounting phase label. All subsequent sends and
+    /// receives are counted under this label until it changes. The LU stack
+    /// uses `"fact"` for xy-plane factorization traffic and `"reduce"` for
+    /// z-axis ancestor-reduction traffic (paper Fig. 10).
+    pub fn set_phase(&mut self, phase: &str) {
+        if self.phase != phase {
+            self.phase = phase.to_string();
+        }
+    }
+
+    fn counter(&mut self) -> &mut PhaseCounter {
+        self.traffic.entry(self.phase.clone()).or_default()
+    }
+
+    /// Send `payload` to local rank `dst` of `comm` with `tag`.
+    /// Non-blocking (eager buffering), like `MPI_Send` under the eager
+    /// protocol. Charges `α + β·words` of simulated time to this rank.
+    pub fn send(&mut self, comm: &Comm, dst: usize, tag: u64, payload: Payload) {
+        let words = payload.words();
+        let cost = self.model.xfer(words);
+        let t0 = self.clock;
+        self.clock += cost;
+        self.t_comm += cost;
+        self.record(t0, self.clock, EventKind::Send);
+        {
+            let c = self.counter();
+            c.sent_msgs += 1;
+            c.sent_words += words;
+        }
+        let msg = Msg {
+            src_world: self.world_rank,
+            ctx: comm.ctx,
+            tag,
+            arrival: self.clock,
+            payload,
+        };
+        let dst_world = comm.world_rank_of(dst);
+        self.senders[dst_world]
+            .send(msg)
+            .expect("simulated machine shut down while sending");
+    }
+
+    /// Blocking receive of the message from local rank `src` of `comm` with
+    /// `tag`. Advances this rank's clock to at least the message arrival
+    /// time plus the transfer charge; waiting time counts as communication.
+    ///
+    /// Panics after a generous timeout — a deadlock is always a bug in the
+    /// SPMD protocol, and failing loudly beats hanging the test suite.
+    pub fn recv(&mut self, comm: &Comm, src: usize, tag: u64) -> Payload {
+        let src_world = comm.world_rank_of(src);
+        let key = (comm.ctx, src_world, tag);
+        let msg = loop {
+            if let Some(q) = self.pending.get_mut(&key) {
+                if let Some(m) = q.pop_front() {
+                    break m;
+                }
+            }
+            let m = self
+                .inbox
+                .recv_timeout(recv_timeout())
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "rank {}: recv timeout waiting for (ctx={}, src={}, tag={})",
+                        self.world_rank, comm.ctx, src_world, tag
+                    )
+                });
+            let mkey = (m.ctx, m.src_world, m.tag);
+            if mkey == key {
+                break m;
+            }
+            self.pending.entry(mkey).or_default().push_back(m);
+        };
+
+        let words = msg.payload.words();
+        // Receiver-side charge: wait until the message is available, then
+        // pay the transfer cost.
+        let ready = msg.arrival.max(self.clock);
+        let done = ready + self.model.xfer(words);
+        self.t_comm += done - self.clock;
+        self.record(self.clock, ready, EventKind::Wait);
+        self.record(ready, done, EventKind::Recv);
+        self.clock = done;
+        {
+            let c = self.counter();
+            c.recv_msgs += 1;
+            c.recv_words += words;
+        }
+        msg.payload
+    }
+
+    /// Charge `flops` floating-point operations of compute time.
+    pub fn advance_compute(&mut self, flops: u64) {
+        let cost = self.model.compute(flops);
+        let t0 = self.clock;
+        self.clock += cost;
+        self.t_comp += cost;
+        self.flops += flops;
+        self.record(t0, self.clock, EventKind::Compute);
+    }
+
+    /// Record a memory gauge (bytes currently allocated by the caller);
+    /// keeps the peak for the final report.
+    pub fn record_memory(&mut self, bytes: u64) {
+        self.peak_mem = self.peak_mem.max(bytes);
+    }
+
+    /// Current simulated clock in seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Snapshot the final report (called by the machine after the SPMD
+    /// closure returns).
+    pub(crate) fn into_report(self, wall_secs: f64) -> RankReport {
+        RankReport {
+            traffic: self.traffic.into_iter().collect(),
+            clock: self.clock,
+            t_comm: self.t_comm,
+            t_comp: self.t_comp,
+            flops: self.flops,
+            peak_mem_bytes: self.peak_mem,
+            wall_secs,
+            trace: self.trace,
+        }
+    }
+}

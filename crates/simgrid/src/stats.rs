@@ -1,0 +1,169 @@
+//! Per-rank traffic and time accounting.
+
+use crate::trace::TraceEvent;
+use std::collections::BTreeMap;
+
+/// Message/word counters for one traffic phase on one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCounter {
+    pub sent_msgs: u64,
+    pub sent_words: u64,
+    pub recv_msgs: u64,
+    pub recv_words: u64,
+}
+
+impl PhaseCounter {
+    /// Fold another counter into this one.
+    pub fn merge(&mut self, other: &PhaseCounter) {
+        self.sent_msgs += other.sent_msgs;
+        self.sent_words += other.sent_words;
+        self.recv_msgs += other.recv_msgs;
+        self.recv_words += other.recv_words;
+    }
+}
+
+/// Everything one rank reports at the end of a run.
+#[derive(Clone, Debug, Default)]
+pub struct RankReport {
+    /// Traffic counters keyed by the phase label active when the message was
+    /// sent/received (see [`crate::Rank::set_phase`]). The paper's Fig. 10
+    /// is the `"fact"` vs `"reduce"` split of `sent_words`.
+    pub traffic: BTreeMap<String, PhaseCounter>,
+    /// Final simulated clock (seconds): this rank's critical-path time.
+    pub clock: f64,
+    /// Simulated seconds spent in communication (transfer charges plus
+    /// blocking waits) — the `T_comm` component of Fig. 9.
+    pub t_comm: f64,
+    /// Simulated seconds spent computing — the `T_scu` component of Fig. 9.
+    pub t_comp: f64,
+    /// Total flops this rank charged via `advance_compute`.
+    pub flops: u64,
+    /// Peak memory gauge recorded via `record_memory` (bytes).
+    pub peak_mem_bytes: u64,
+    /// Wall-clock seconds this rank's thread actually ran.
+    pub wall_secs: f64,
+    /// Simulated-time event trace, when tracing was enabled on the machine.
+    pub trace: Option<Vec<TraceEvent>>,
+}
+
+impl RankReport {
+    /// Total words sent across all phases.
+    pub fn total_sent_words(&self) -> u64 {
+        self.traffic.values().map(|c| c.sent_words).sum()
+    }
+
+    /// Total messages sent across all phases.
+    pub fn total_sent_msgs(&self) -> u64 {
+        self.traffic.values().map(|c| c.sent_msgs).sum()
+    }
+
+    /// Words sent in one phase (0 if the phase never ran).
+    pub fn sent_words_in(&self, phase: &str) -> u64 {
+        self.traffic.get(phase).map_or(0, |c| c.sent_words)
+    }
+}
+
+/// Cross-rank aggregation of a finished run.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficSummary {
+    /// Maximum per-rank sent words (the paper's "per-process communication
+    /// volume on the critical path").
+    pub max_sent_words: u64,
+    /// Sum of sent words over all ranks.
+    pub total_sent_words: u64,
+    /// Maximum per-rank message count.
+    pub max_sent_msgs: u64,
+    /// Maximum simulated clock over ranks: the run's critical-path time.
+    pub makespan: f64,
+    /// Maximum per-rank compute seconds.
+    pub max_t_comp: f64,
+    /// Maximum per-rank communication seconds.
+    pub max_t_comm: f64,
+    /// Maximum per-rank peak memory (bytes).
+    pub max_peak_mem: u64,
+    /// Total flops over all ranks.
+    pub total_flops: u64,
+}
+
+impl TrafficSummary {
+    /// Aggregate a slice of rank reports.
+    pub fn from_reports(reports: &[RankReport]) -> Self {
+        let mut s = TrafficSummary::default();
+        for r in reports {
+            s.max_sent_words = s.max_sent_words.max(r.total_sent_words());
+            s.total_sent_words += r.total_sent_words();
+            s.max_sent_msgs = s.max_sent_msgs.max(r.total_sent_msgs());
+            s.makespan = s.makespan.max(r.clock);
+            s.max_t_comp = s.max_t_comp.max(r.t_comp);
+            s.max_t_comm = s.max_t_comm.max(r.t_comm);
+            s.max_peak_mem = s.max_peak_mem.max(r.peak_mem_bytes);
+            s.total_flops += r.flops;
+        }
+        s
+    }
+
+    /// Max per-rank words sent in one named phase.
+    pub fn max_sent_words_in(reports: &[RankReport], phase: &str) -> u64 {
+        reports.iter().map(|r| r.sent_words_in(phase)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_totals() {
+        let mut r = RankReport::default();
+        r.traffic.insert(
+            "fact".into(),
+            PhaseCounter {
+                sent_msgs: 2,
+                sent_words: 100,
+                recv_msgs: 1,
+                recv_words: 50,
+            },
+        );
+        r.traffic.insert(
+            "reduce".into(),
+            PhaseCounter {
+                sent_msgs: 1,
+                sent_words: 10,
+                recv_msgs: 0,
+                recv_words: 0,
+            },
+        );
+        assert_eq!(r.total_sent_words(), 110);
+        assert_eq!(r.total_sent_msgs(), 3);
+        assert_eq!(r.sent_words_in("fact"), 100);
+        assert_eq!(r.sent_words_in("nope"), 0);
+    }
+
+    #[test]
+    fn summary_aggregates_max_and_total() {
+        let mut r1 = RankReport::default();
+        r1.traffic.insert(
+            "fact".into(),
+            PhaseCounter {
+                sent_msgs: 1,
+                sent_words: 5,
+                ..Default::default()
+            },
+        );
+        r1.clock = 2.0;
+        let mut r2 = RankReport::default();
+        r2.traffic.insert(
+            "fact".into(),
+            PhaseCounter {
+                sent_msgs: 4,
+                sent_words: 9,
+                ..Default::default()
+            },
+        );
+        r2.clock = 1.0;
+        let s = TrafficSummary::from_reports(&[r1, r2]);
+        assert_eq!(s.max_sent_words, 9);
+        assert_eq!(s.total_sent_words, 14);
+        assert_eq!(s.makespan, 2.0);
+    }
+}

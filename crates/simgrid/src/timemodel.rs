@@ -1,0 +1,96 @@
+//! The α-β + flop-rate machine model.
+//!
+//! Simulated time is charged in three ways:
+//!
+//! - sending or receiving a message of `w` words costs `α + β·w` on the
+//!   participating rank,
+//! - the message becomes *available* to the receiver `α + β·w` after the
+//!   sender initiated it (so a late sender stalls its receivers — this is
+//!   what propagates load imbalance into synchronization time, the effect
+//!   the paper observes for `K2d5pt` in §V-B),
+//! - `f` floating-point operations cost `f / flops_per_sec`.
+//!
+//! The constants only set the *scale* of results; every figure in the paper
+//! is either machine-independent (words, messages, bytes) or normalized to
+//! the 2D baseline on the same machine, so shapes are insensitive to the
+//! exact values.
+
+/// Machine-model constants for the simulated cluster.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeModel {
+    /// Per-message latency in seconds (the `α` term).
+    pub alpha: f64,
+    /// Per-word (8 bytes) transfer time in seconds (the `β` term).
+    pub beta: f64,
+    /// Sustained per-rank compute rate in flop/s.
+    pub flops_per_sec: f64,
+}
+
+impl TimeModel {
+    /// Constants shaped after a NERSC Edison (Cray XC30, Aries) node as used
+    /// in the paper: ~1-3 µs MPI latency, ~6-8 GB/s per-process effective
+    /// bandwidth, and roughly 4 Ivy Bridge cores' worth of DGEMM throughput
+    /// per MPI rank (the paper runs 4 OpenMP threads per rank).
+    pub fn edison_like() -> Self {
+        TimeModel {
+            alpha: 3.0e-6,
+            beta: 1.25e-9,
+            flops_per_sec: 3.0e10,
+        }
+    }
+
+    /// A zero-cost model: simulated clocks stay at zero; useful in tests
+    /// that only check traffic counters.
+    pub fn zero() -> Self {
+        TimeModel {
+            alpha: 0.0,
+            beta: 0.0,
+            flops_per_sec: f64::INFINITY,
+        }
+    }
+
+    /// A latency-dominated toy machine (big α, small β): exaggerates the
+    /// message-count effects, used by latency-oriented tests.
+    pub fn latency_bound() -> Self {
+        TimeModel {
+            alpha: 1.0e-3,
+            beta: 1.0e-12,
+            flops_per_sec: 1.0e15,
+        }
+    }
+
+    /// Transfer time for a `w`-word message.
+    #[inline]
+    pub fn xfer(&self, words: u64) -> f64 {
+        self.alpha + self.beta * words as f64
+    }
+
+    /// Compute time for `f` flops.
+    #[inline]
+    pub fn compute(&self, flops: u64) -> f64 {
+        flops as f64 / self.flops_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_and_compute_costs() {
+        let m = TimeModel {
+            alpha: 1.0,
+            beta: 0.5,
+            flops_per_sec: 10.0,
+        };
+        assert_eq!(m.xfer(4), 3.0);
+        assert_eq!(m.compute(20), 2.0);
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = TimeModel::zero();
+        assert_eq!(m.xfer(1_000_000), 0.0);
+        assert_eq!(m.compute(u64::MAX), 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Process-grid topologies: the 2D grids of SuperLU_DIST and the 3D grid of
+//! the paper's algorithm.
+//!
+//! Conventions (matching the paper's notation):
+//! - a 2D grid has `pr x pc` processes; block `(I, J)` of the matrix is
+//!   owned by process `(I mod pr, J mod pc)` (block-cyclic layout, §II-E);
+//! - a 3D grid is `Pz` stacked 2D grids; world rank
+//!   `= z * (pr * pc) + r * pc + c`.
+
+use crate::comm::Comm;
+use crate::rank::Rank;
+
+/// A 2D process grid of shape `pr x pc`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid2d {
+    pub pr: usize,
+    pub pc: usize,
+}
+
+impl Grid2d {
+    pub fn new(pr: usize, pc: usize) -> Self {
+        assert!(pr > 0 && pc > 0);
+        Grid2d { pr, pc }
+    }
+
+    /// Total process count.
+    pub fn size(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// Local rank of grid coordinate `(r, c)`.
+    #[inline]
+    pub fn rank_of(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.pr && c < self.pc);
+        r * self.pc + c
+    }
+
+    /// Grid coordinate of local rank `rank`.
+    #[inline]
+    pub fn coords_of(&self, rank: usize) -> (usize, usize) {
+        (rank / self.pc, rank % self.pc)
+    }
+
+    /// Owner coordinates of block `(i, j)` under the block-cyclic layout.
+    #[inline]
+    pub fn owner(&self, i: usize, j: usize) -> (usize, usize) {
+        (i % self.pr, j % self.pc)
+    }
+}
+
+/// A 3D process grid: `pz` stacked `pr x pc` grids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid3d {
+    pub grid2d: Grid2d,
+    pub pz: usize,
+}
+
+impl Grid3d {
+    /// `pz` must be a power of two (Algorithm 1 halves the active grid set
+    /// each level).
+    pub fn new(pr: usize, pc: usize, pz: usize) -> Self {
+        assert!(pz > 0 && pz.is_power_of_two(), "Pz must be a power of two");
+        Grid3d {
+            grid2d: Grid2d::new(pr, pc),
+            pz,
+        }
+    }
+
+    /// Total process count `pr * pc * pz`.
+    pub fn size(&self) -> usize {
+        self.grid2d.size() * self.pz
+    }
+
+    /// Processes per 2D layer.
+    pub fn layer_size(&self) -> usize {
+        self.grid2d.size()
+    }
+
+    /// World rank of `(r, c, z)`.
+    #[inline]
+    pub fn rank_of(&self, r: usize, c: usize, z: usize) -> usize {
+        z * self.layer_size() + self.grid2d.rank_of(r, c)
+    }
+
+    /// `(r, c, z)` coordinates of a world rank.
+    #[inline]
+    pub fn coords_of(&self, world: usize) -> (usize, usize, usize) {
+        let z = world / self.layer_size();
+        let (r, c) = self.grid2d.coords_of(world % self.layer_size());
+        (r, c, z)
+    }
+
+    /// Number of levels in Algorithm 1's reduction ladder: `log2 pz`.
+    pub fn levels(&self) -> usize {
+        self.pz.trailing_zeros() as usize
+    }
+}
+
+/// The communicators a rank needs to run the 3D algorithm, built once at
+/// startup (collectively, in a deterministic order).
+pub struct GridComms {
+    /// This rank's 3D coordinates `(r, c, z)`.
+    pub coords: (usize, usize, usize),
+    /// All ranks in my 2D layer (my `z`), ordered row-major.
+    pub layer: Comm,
+    /// My process row within my layer (fixed `r`, varying `c`).
+    pub row: Comm,
+    /// My process column within my layer (fixed `c`, varying `r`).
+    pub col: Comm,
+    /// The z-line through my `(r, c)` position: one rank per layer. This is
+    /// the path of the ancestor-reduction step.
+    pub zline: Comm,
+}
+
+/// Collectively build the per-rank communicator set for a 3D grid. Every
+/// rank must call this exactly once, immediately, before any other
+/// communicator creation (SPMD discipline).
+pub fn build_grid_comms(rank: &mut Rank, g: &Grid3d) -> GridComms {
+    assert_eq!(rank.size(), g.size(), "machine size != grid size");
+    let (my_r, my_c, my_z) = g.coords_of(rank.id());
+    let g2 = g.grid2d;
+
+    let mut layer = None;
+    for z in 0..g.pz {
+        let members: Vec<usize> = (0..g2.size()).map(|l| z * g2.size() + l).collect();
+        if let Some(c) = rank.subset(&members) {
+            layer = Some(c);
+        }
+    }
+    let mut row = None;
+    for z in 0..g.pz {
+        for r in 0..g2.pr {
+            let members: Vec<usize> = (0..g2.pc).map(|c| g.rank_of(r, c, z)).collect();
+            if let Some(c) = rank.subset(&members) {
+                row = Some(c);
+            }
+        }
+    }
+    let mut col = None;
+    for z in 0..g.pz {
+        for c in 0..g2.pc {
+            let members: Vec<usize> = (0..g2.pr).map(|r| g.rank_of(r, c, z)).collect();
+            if let Some(cc) = rank.subset(&members) {
+                col = Some(cc);
+            }
+        }
+    }
+    let mut zline = None;
+    for r in 0..g2.pr {
+        for c in 0..g2.pc {
+            let members: Vec<usize> = (0..g.pz).map(|z| g.rank_of(r, c, z)).collect();
+            if let Some(cc) = rank.subset(&members) {
+                zline = Some(cc);
+            }
+        }
+    }
+    GridComms {
+        coords: (my_r, my_c, my_z),
+        layer: layer.expect("every rank is in exactly one layer"),
+        row: row.expect("every rank is in exactly one row"),
+        col: col.expect("every rank is in exactly one column"),
+        zline: zline.expect("every rank is in exactly one z-line"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::payload::Payload;
+    use crate::timemodel::TimeModel;
+
+    #[test]
+    fn grid2d_rank_coords_roundtrip() {
+        let g = Grid2d::new(3, 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(g.coords_of(g.rank_of(r, c)), (r, c));
+            }
+        }
+        assert_eq!(g.owner(7, 9), (7 % 3, 9 % 4));
+    }
+
+    #[test]
+    fn grid3d_rank_coords_roundtrip() {
+        let g = Grid3d::new(2, 3, 4);
+        assert_eq!(g.size(), 24);
+        assert_eq!(g.levels(), 2);
+        for z in 0..4 {
+            for r in 0..2 {
+                for c in 0..3 {
+                    assert_eq!(g.coords_of(g.rank_of(r, c, z)), (r, c, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn grid3d_rejects_non_power_of_two_pz() {
+        let _ = Grid3d::new(2, 2, 3);
+    }
+
+    #[test]
+    fn comms_route_correctly() {
+        let g = Grid3d::new(2, 2, 2);
+        let m = Machine::new(g.size(), TimeModel::zero());
+        let out = m.run(move |rank| {
+            let comms = build_grid_comms(rank, &g);
+            let (r, c, z) = comms.coords;
+            // Row-allreduce of column ids, col-allreduce of row ids, and a
+            // z-line exchange.
+            let row_sum = rank.allreduce_sum(&comms.row, vec![c as f64], 1)[0];
+            let col_sum = rank.allreduce_sum(&comms.col, vec![r as f64], 2)[0];
+            let peer = 1 - comms.zline.local_rank();
+            rank.send(&comms.zline, peer, 3, Payload::Idx(vec![z]));
+            let peer_z = rank.recv(&comms.zline, peer, 3).into_idx()[0];
+            (row_sum, col_sum, peer_z)
+        });
+        for (world, &(rs, cs, pz)) in out.results.iter().enumerate() {
+            let (_, _, z) = g.coords_of(world);
+            assert_eq!(rs, 1.0); // 0 + 1 over the row
+            assert_eq!(cs, 1.0);
+            assert_eq!(pz, 1 - z);
+        }
+    }
+}

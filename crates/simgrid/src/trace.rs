@@ -1,0 +1,194 @@
+//! Per-rank event tracing and a text Gantt renderer.
+//!
+//! When tracing is enabled on the machine ([`crate::Machine::with_tracing`]),
+//! every rank records its simulated-time intervals — compute, send, receive,
+//! and blocking wait — and the renderer turns a finished run into a terminal
+//! timeline. This is the tool used to *see* the paper's effects: the 2D
+//! baseline shows long wait stripes on most ranks while the 3D run shows the
+//! per-grid parallel phase followed by the short reduction exchanges.
+
+use crate::stats::RankReport;
+
+/// What a rank was doing during one traced interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Local floating-point work.
+    Compute,
+    /// Transfer charge for an outgoing message.
+    Send,
+    /// Transfer charge for an incoming message.
+    Recv,
+    /// Blocked waiting for a message that had not yet arrived.
+    Wait,
+}
+
+/// One traced interval of simulated time.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    pub start: f64,
+    pub end: f64,
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Interval length in simulated seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Render a run's traces as a text Gantt chart: one row per rank, `width`
+/// characters across the makespan. Glyphs: `#` compute, `>` send, `<`
+/// receive, `.` wait, space idle (not yet started / finished early).
+///
+/// Ranks without traces (tracing disabled) render as empty rows.
+pub fn render_gantt(reports: &[RankReport], width: usize) -> String {
+    let makespan = reports.iter().map(|r| r.clock).fold(0.0f64, f64::max);
+    let mut out = String::new();
+    if makespan <= 0.0 || width == 0 {
+        out.push_str("(no simulated time elapsed)\n");
+        return out;
+    }
+    let dt = makespan / width as f64;
+    for (rank, rep) in reports.iter().enumerate() {
+        let mut row = vec![' '; width];
+        if let Some(trace) = &rep.trace {
+            // For each column pick the kind covering the largest share.
+            for (c, slot) in row.iter_mut().enumerate() {
+                let t0 = c as f64 * dt;
+                let t1 = t0 + dt;
+                let mut shares = [0.0f64; 4]; // Compute, Send, Recv, Wait
+                for ev in trace {
+                    if ev.end <= t0 || ev.start >= t1 {
+                        continue;
+                    }
+                    let overlap = ev.end.min(t1) - ev.start.max(t0);
+                    let idx = match ev.kind {
+                        EventKind::Compute => 0,
+                        EventKind::Send => 1,
+                        EventKind::Recv => 2,
+                        EventKind::Wait => 3,
+                    };
+                    shares[idx] += overlap;
+                }
+                let (best, share) = shares
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap();
+                if *share > 0.0 {
+                    *slot = ['#', '>', '<', '.'][best];
+                }
+            }
+        }
+        let comp_pct = if rep.clock > 0.0 {
+            100.0 * rep.t_comp / rep.clock
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "r{rank:<3} |{}| {comp_pct:3.0}% comp\n",
+            row.iter().collect::<String>()
+        ));
+    }
+    out.push_str(&format!(
+        "      0 {:>width$.6}s   (#=compute  >=send  <=recv  .=wait)\n",
+        makespan,
+        width = width.saturating_sub(2)
+    ));
+    out
+}
+
+/// Validate the internal consistency of a trace: events ordered, non-
+/// overlapping, and summing (by kind) to the report's `t_comp`/`t_comm`.
+/// Test/diagnostic helper.
+pub fn validate_trace(rep: &RankReport) -> Result<(), String> {
+    let Some(trace) = &rep.trace else {
+        return Ok(());
+    };
+    let mut cursor = 0.0f64;
+    let mut comp = 0.0;
+    let mut comm = 0.0;
+    for (i, ev) in trace.iter().enumerate() {
+        if ev.start < cursor - 1e-12 {
+            return Err(format!("event {i} overlaps predecessor"));
+        }
+        if ev.end < ev.start {
+            return Err(format!("event {i} has negative duration"));
+        }
+        cursor = ev.end;
+        match ev.kind {
+            EventKind::Compute => comp += ev.duration(),
+            _ => comm += ev.duration(),
+        }
+    }
+    if (comp - rep.t_comp).abs() > 1e-9 * (1.0 + rep.t_comp) {
+        return Err(format!("compute time mismatch: {comp} vs {}", rep.t_comp));
+    }
+    if (comm - rep.t_comm).abs() > 1e-9 * (1.0 + rep.t_comm) {
+        return Err(format!("comm time mismatch: {comm} vs {}", rep.t_comm));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::payload::Payload;
+    use crate::timemodel::TimeModel;
+
+    #[test]
+    fn traces_cover_the_clock_and_render() {
+        let model = TimeModel {
+            alpha: 1.0,
+            beta: 0.1,
+            flops_per_sec: 10.0,
+        };
+        let m = Machine::new(2, model).with_tracing();
+        let out = m.run(|rank| {
+            let world = rank.world();
+            if rank.id() == 0 {
+                rank.advance_compute(50);
+                rank.send(&world, 1, 0, Payload::F64s(vec![0.0; 10]));
+            } else {
+                rank.recv(&world, 0, 0);
+                rank.advance_compute(20);
+            }
+        });
+        for rep in &out.reports {
+            validate_trace(rep).unwrap();
+            assert!(rep.trace.as_ref().unwrap().len() >= 2);
+        }
+        let g = render_gantt(&out.reports, 40);
+        assert!(g.contains('#'), "gantt must show compute:\n{g}");
+        assert!(g.lines().count() >= 3);
+        // Rank 1 waits for rank 0's long compute: a wait stripe must show.
+        assert!(g.contains('.'), "gantt must show waiting:\n{g}");
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let m = Machine::new(1, TimeModel::zero());
+        let out = m.run(|_| ());
+        assert!(out.reports[0].trace.is_none());
+    }
+
+    #[test]
+    fn adjacent_compute_events_merge() {
+        let model = TimeModel {
+            alpha: 0.0,
+            beta: 0.0,
+            flops_per_sec: 1.0,
+        };
+        let m = Machine::new(1, model).with_tracing();
+        let out = m.run(|rank| {
+            for _ in 0..100 {
+                rank.advance_compute(1);
+            }
+        });
+        let trace = out.reports[0].trace.as_ref().unwrap();
+        assert_eq!(trace.len(), 1, "contiguous compute must merge");
+        assert!((trace[0].duration() - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! The node-list factorization driver: `dSparseLU2D(A, nList)` from the
+//! paper's Algorithm 1, with the elimination-tree lookahead of §II-F.
+
+use crate::kernels::{factor_step_panel, factor_step_schur, PanelData};
+use crate::store::BlockStore;
+use simgrid::{Comm, Grid2d, Rank};
+use std::collections::HashMap;
+use symbolic::Symbolic;
+
+/// Per-rank environment for a 2D factorization: the grid shape, this rank's
+/// coordinates, and the row/column communicators of its layer.
+pub struct FactorEnv {
+    pub grid: Grid2d,
+    pub my_r: usize,
+    pub my_c: usize,
+    /// My process row (fixed `r`, all columns).
+    pub row: Comm,
+    /// My process column (fixed `c`, all rows).
+    pub col: Comm,
+    pub opts: FactorOpts,
+}
+
+/// Tuning knobs for the factorization.
+#[derive(Clone, Copy, Debug)]
+pub struct FactorOpts {
+    /// Elimination-tree lookahead window: how many upcoming supernodes may
+    /// run their panel phase before the current Schur update (paper §II-F:
+    /// "typically ... in the range 8-20"). `0` disables lookahead.
+    pub lookahead: usize,
+    /// Static-pivoting threshold (relative to the block's max entry).
+    pub pivot_threshold: f64,
+}
+
+impl Default for FactorOpts {
+    fn default() -> Self {
+        FactorOpts {
+            lookahead: 8,
+            pivot_threshold: 1e-10,
+        }
+    }
+}
+
+/// Outcome counters of a node-list factorization.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FactorOutcome {
+    /// Static-pivot perturbations applied on this rank.
+    pub perturbations: usize,
+    /// Supernodes whose panel phase ran ahead of the in-order position.
+    pub lookahead_hits: usize,
+}
+
+/// Factor the supernodes of `nodes` (ascending elimination order) on the 2D
+/// grid, updating `store` in place: factored panels overwrite their blocks
+/// and Schur updates accumulate into every owned trailing block (including
+/// replicated ancestors outside `nodes`, which is what the 3D algorithm
+/// relies on).
+///
+/// `done[s]` must be `true` for every supernode whose updates have already
+/// been applied (previous 3D levels) or which lives on another grid (its
+/// contribution arrives via ancestor reduction instead). The function marks
+/// nodes of `nodes` done as it processes them.
+///
+/// Collective across the layer: every rank calls with identical arguments.
+pub fn factor_nodes(
+    rank: &mut Rank,
+    env: &FactorEnv,
+    store: &mut BlockStore,
+    sym: &Symbolic,
+    nodes: &[usize],
+    done: &mut [bool],
+) -> FactorOutcome {
+    debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must ascend");
+    let mut outcome = FactorOutcome::default();
+
+    // Unprocessed-children counts for the lookahead readiness test. A node
+    // is panel-ready when every not-yet-done elimination-tree child has been
+    // processed: its column then has all updates applied.
+    let children = sym.fill.children();
+    let mut pending: HashMap<usize, usize> = HashMap::new();
+    for &k in nodes {
+        pending.insert(
+            k,
+            children[k].iter().filter(|&&c| !done[c]).count(),
+        );
+    }
+
+    let mut panels: HashMap<usize, PanelData> = HashMap::new();
+    let mut paneled = vec![false; nodes.len()];
+
+    for idx in 0..nodes.len() {
+        let k = nodes[idx];
+        // Run panel phases for the window [idx, idx + lookahead], in order,
+        // for every node whose children are all done. All ranks compute the
+        // same schedule from shared symbolic state, keeping the collective
+        // broadcasts aligned.
+        let w_end = (idx + env.opts.lookahead + 1).min(nodes.len());
+        for j in idx..w_end {
+            let m = nodes[j];
+            if paneled[j] || pending[&m] > 0 {
+                continue;
+            }
+            let (pd, pert) = factor_step_panel(rank, env, store, sym, m);
+            outcome.perturbations += pert;
+            if j > idx {
+                outcome.lookahead_hits += 1;
+            }
+            panels.insert(m, pd);
+            paneled[j] = true;
+        }
+
+        let pd = panels
+            .remove(&k)
+            .expect("current node must be panel-ready (children all done)");
+        factor_step_schur(rank, env, store, sym, k, &pd);
+        done[k] = true;
+        // The Schur update completes node k; decrement its etree parent's
+        // pending count if the parent is in this list.
+        if let Some(p) = sym.fill.parent[k] {
+            if let Some(cnt) = pending.get_mut(&p) {
+                *cnt -= 1;
+            }
+        }
+    }
+    outcome
+}

@@ -1,0 +1,182 @@
+//! The per-supernode factorization kernels of §II-E: diagonal
+//! factorization, diagonal broadcast, panel solve, panel broadcast, and the
+//! Schur-complement update.
+
+use crate::factor2d::FactorEnv;
+use crate::store::{pack_blocks, unpack_blocks, BlockStore};
+use densela::{flops, getrf, trsm_left_lower_unit, trsm_right_upper, Mat, PivotPolicy};
+use simgrid::{Payload, Rank};
+use std::collections::HashMap;
+use symbolic::Symbolic;
+
+/// Message-tag kinds, shifted above the supernode id.
+const T_DIAG_ROW: u64 = 1 << 48;
+const T_DIAG_COL: u64 = 2 << 48;
+const T_LPANEL: u64 = 3 << 48;
+const T_UPANEL: u64 = 4 << 48;
+
+/// The L and U panel pieces a rank holds after the panel phase of
+/// supernode `k`: `lmap[I]` for block rows `I` in this rank's process row,
+/// `umap[J]` for block columns `J` in this rank's process column.
+pub struct PanelData {
+    pub lmap: HashMap<usize, Mat>,
+    pub umap: HashMap<usize, Mat>,
+}
+
+/// Run the panel phase for supernode `k`: kernels 1-4 of §II-E. Collective
+/// across the 2D grid (every rank of the layer must call it with the same
+/// `k`). Returns the panel data this rank needs for its Schur updates, and
+/// the number of static-pivot perturbations (nonzero only on the diagonal
+/// owner).
+pub fn factor_step_panel(
+    rank: &mut Rank,
+    env: &FactorEnv,
+    store: &mut BlockStore,
+    sym: &Symbolic,
+    k: usize,
+) -> (PanelData, usize) {
+    let f0 = flops::get();
+    let grid = env.grid;
+    let (kr, kc) = (k % grid.pr, k % grid.pc);
+    let struct_k = &sym.fill.struct_of[k];
+    let mut perturbations = 0usize;
+
+    // 1. Diagonal factorization on the owner.
+    if (env.my_r, env.my_c) == (kr, kc) {
+        let d = store
+            .get_mut(k, k)
+            .expect("diagonal owner must hold the diagonal block");
+        let info = getrf(d, PivotPolicy::Static { threshold: env.opts.pivot_threshold });
+        perturbations = info.perturbations;
+    }
+
+    // 2. Diagonal broadcast. The packed LU of A_kk goes across the owner's
+    //    process row (for the U panel solves) and process column (for the L
+    //    panel solves). Skipped entirely when the supernode has no
+    //    off-diagonal blocks.
+    let mut diag_lu: Option<Mat> = None;
+    if !struct_k.is_empty() {
+        if env.my_r == kr {
+            let data = if env.my_c == kc {
+                Some(Payload::F64s(store.get(k, k).unwrap().as_slice().to_vec()))
+            } else {
+                None
+            };
+            let buf = rank.bcast(&env.row, kc, data, T_DIAG_ROW | k as u64).into_f64s();
+            let w = sym.part.width(k);
+            diag_lu = Some(Mat::from_vec(w, w, buf));
+        }
+        if env.my_c == kc {
+            let data = if env.my_r == kr {
+                Some(Payload::F64s(store.get(k, k).unwrap().as_slice().to_vec()))
+            } else {
+                None
+            };
+            let buf = rank.bcast(&env.col, kr, data, T_DIAG_COL | k as u64).into_f64s();
+            let w = sym.part.width(k);
+            diag_lu = Some(Mat::from_vec(w, w, buf));
+        }
+    }
+
+    // 3. Panel solves.
+    if !struct_k.is_empty() && env.my_c == kc {
+        let d = diag_lu.as_ref().expect("column owners received the diagonal");
+        for &i in struct_k {
+            if i % grid.pr == env.my_r {
+                let b = store
+                    .get_mut(i, k)
+                    .expect("panel owner must hold its L block");
+                trsm_right_upper(d, b); // L(I,k) = A(I,k) * U_kk^{-1}
+            }
+        }
+    }
+    if !struct_k.is_empty() && env.my_r == kr {
+        let d = diag_lu.as_ref().expect("row owners received the diagonal");
+        for &j in struct_k {
+            if j % grid.pc == env.my_c {
+                let b = store
+                    .get_mut(k, j)
+                    .expect("panel owner must hold its U block");
+                trsm_left_lower_unit(d, b); // U(k,J) = L_kk^{-1} A(k,J)
+            }
+        }
+    }
+
+    // 4. Panel broadcasts: one packed message per participating row/column.
+    //    My process row participates in the L broadcast iff some block row
+    //    of the panel maps to it (deterministic from the symbolic pattern,
+    //    so every rank agrees without communication).
+    let mut lmap = HashMap::new();
+    let row_has_l = struct_k.iter().any(|&i| i % grid.pr == env.my_r);
+    if row_has_l {
+        let data = if env.my_c == kc {
+            let items: Vec<(usize, &Mat)> = struct_k
+                .iter()
+                .filter(|&&i| i % grid.pr == env.my_r)
+                .map(|&i| (i, store.get(i, k).expect("owned L block")))
+                .collect();
+            Some(pack_blocks(&items))
+        } else {
+            None
+        };
+        let payload = rank.bcast(&env.row, kc, data, T_LPANEL | k as u64);
+        for (i, m) in unpack_blocks(payload) {
+            lmap.insert(i, m);
+        }
+    }
+    let mut umap = HashMap::new();
+    let col_has_u = struct_k.iter().any(|&j| j % grid.pc == env.my_c);
+    if col_has_u {
+        let data = if env.my_r == kr {
+            let items: Vec<(usize, &Mat)> = struct_k
+                .iter()
+                .filter(|&&j| j % grid.pc == env.my_c)
+                .map(|&j| (j, store.get(k, j).expect("owned U block")))
+                .collect();
+            Some(pack_blocks(&items))
+        } else {
+            None
+        };
+        let payload = rank.bcast(&env.col, kr, data, T_UPANEL | k as u64);
+        for (j, m) in unpack_blocks(payload) {
+            umap.insert(j, m);
+        }
+    }
+
+    rank.advance_compute(flops::get() - f0);
+    (PanelData { lmap, umap }, perturbations)
+}
+
+/// The Schur-complement update for supernode `k` (§II-E): every rank
+/// updates its owned trailing blocks `A(I,J) -= L(I,k) * U(k,J)` for
+/// `I, J` in `struct(k)`. Purely local; the block-fill closure property
+/// guarantees every target block exists.
+pub fn factor_step_schur(
+    rank: &mut Rank,
+    env: &FactorEnv,
+    store: &mut BlockStore,
+    sym: &Symbolic,
+    k: usize,
+    panels: &PanelData,
+) {
+    let f0 = flops::get();
+    let grid = env.grid;
+    let struct_k = &sym.fill.struct_of[k];
+    for &j in struct_k {
+        if j % grid.pc != env.my_c {
+            continue;
+        }
+        let Some(u) = panels.umap.get(&j) else { continue };
+        for &i in struct_k {
+            if i % grid.pr != env.my_r {
+                continue;
+            }
+            let Some(l) = panels.lmap.get(&i) else { continue };
+            let target = store.get_mut(i, j).unwrap_or_else(|| {
+                panic!("Schur target block ({i},{j}) missing — fill closure violated")
+            });
+            densela::gemm(-1.0, l, u, 1.0, target);
+        }
+    }
+    rank.advance_compute(flops::get() - f0);
+}

@@ -1,0 +1,332 @@
+//! Per-rank storage of supernodal blocks, plus panel packing for messages.
+//!
+//! Blocks are stored as zero-padded dense panels (`n_I x n_J` for block
+//! `(I, J)`), the granularity substitution documented in DESIGN.md: it
+//! preserves the block sparsity, distribution, and communication pattern of
+//! SuperLU_DIST while making every Schur update a plain GEMM.
+
+use densela::Mat;
+use simgrid::{Grid2d, Payload};
+use std::collections::HashMap;
+use symbolic::Symbolic;
+
+/// Which blocks a store holds values for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InitValues {
+    /// Scatter the matrix values into owned blocks (normal case).
+    FromMatrix,
+    /// Allocate owned blocks but initialize them to zero — the replicated
+    /// ancestor copies on non-primary grids in the 3D algorithm (paper
+    /// §III-A: "In grid-1, we initialize the blocks of A(S) with zeros").
+    Zero,
+}
+
+/// The blocks a simulated rank owns, keyed by `(block_row, block_col)`
+/// supernode ids.
+#[derive(Clone, Debug, Default)]
+pub struct BlockStore {
+    blocks: HashMap<(usize, usize), Mat>,
+}
+
+impl BlockStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        BlockStore::default()
+    }
+
+    /// Build the store for one rank of a 2D grid: allocates every block of
+    /// the symbolic pattern whose supernodes pass `keep` and whose
+    /// block-cyclic owner is `(my_r, my_c)`, then scatters matrix values
+    /// (or zeros, per `init`).
+    ///
+    /// `keep(j)` selects the supernodes this grid handles — the full set in
+    /// pure 2D mode, a subtree forest plus replicated ancestors in 3D mode.
+    /// A block `(I, J)` is allocated when *both* endpoints are kept.
+    ///
+    /// `a` is the reordered, pattern-symmetric matrix (shared, read-only).
+    pub fn build(
+        a: &sparsemat::Csr,
+        sym: &Symbolic,
+        grid: &Grid2d,
+        my_r: usize,
+        my_c: usize,
+        keep: &dyn Fn(usize) -> bool,
+        init: InitValues,
+    ) -> BlockStore {
+        let value_pred: &dyn Fn(usize, usize) -> bool = match init {
+            InitValues::FromMatrix => &|_, _| true,
+            InitValues::Zero => &|_, _| false,
+        };
+        Self::build_with_value_pred(a, sym, grid, my_r, my_c, keep, value_pred)
+    }
+
+    /// Like [`BlockStore::build`], but with per-block control over value
+    /// initialization: `value_pred(i, j)` decides whether block `(i, j)`
+    /// receives the values of `A` (true) or starts at zero (false). The 3D
+    /// algorithm initializes each replicated block's values on exactly one
+    /// grid — the factoring grid of the deeper endpoint — and zeros
+    /// elsewhere (paper §III-A).
+    pub fn build_with_value_pred(
+        a: &sparsemat::Csr,
+        sym: &Symbolic,
+        grid: &Grid2d,
+        my_r: usize,
+        my_c: usize,
+        keep: &dyn Fn(usize) -> bool,
+        value_pred: &dyn Fn(usize, usize) -> bool,
+    ) -> BlockStore {
+        let part = &sym.part;
+        let mut blocks = HashMap::new();
+        let mine = |i: usize, j: usize| grid.owner(i, j) == (my_r, my_c);
+
+        // Allocate pattern blocks.
+        for j in 0..part.nsup() {
+            if !keep(j) {
+                continue;
+            }
+            let wj = part.width(j);
+            if mine(j, j) {
+                blocks.insert((j, j), Mat::zeros(wj, wj));
+            }
+            for &i in &sym.fill.struct_of[j] {
+                if !keep(i) {
+                    continue;
+                }
+                let wi = part.width(i);
+                if mine(i, j) {
+                    blocks.insert((i, j), Mat::zeros(wi, wj)); // L side
+                }
+                if mine(j, i) {
+                    blocks.insert((j, i), Mat::zeros(wj, wi)); // U side
+                }
+            }
+        }
+
+        // Scatter matrix values.
+        for row in 0..a.nrows {
+            let bi = part.sn_of_col[row];
+            if !keep(bi) {
+                continue;
+            }
+            let r_off = row - part.ranges[bi].start;
+            for (col, val) in a.row_cols(row).iter().zip(a.row_vals(row)) {
+                let bj = part.sn_of_col[*col];
+                if !keep(bj) || !mine(bi, bj) || !value_pred(bi, bj) {
+                    continue;
+                }
+                if let Some(m) = blocks.get_mut(&(bi, bj)) {
+                    let c_off = col - part.ranges[bj].start;
+                    *m.at_mut(r_off, c_off) += *val;
+                }
+                // Entries whose block is absent from the symbolic pattern
+                // cannot exist: the pattern contains all of A.
+            }
+        }
+
+        BlockStore { blocks }
+    }
+
+    /// Borrow a block.
+    pub fn get(&self, i: usize, j: usize) -> Option<&Mat> {
+        self.blocks.get(&(i, j))
+    }
+
+    /// Borrow a block mutably.
+    pub fn get_mut(&mut self, i: usize, j: usize) -> Option<&mut Mat> {
+        self.blocks.get_mut(&(i, j))
+    }
+
+    /// Insert (or replace) a block.
+    pub fn insert(&mut self, i: usize, j: usize, m: Mat) {
+        self.blocks.insert((i, j), m);
+    }
+
+    /// Remove a block, returning it.
+    pub fn take(&mut self, i: usize, j: usize) -> Option<Mat> {
+        self.blocks.remove(&(i, j))
+    }
+
+    /// Whether a block is present.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.blocks.contains_key(&(i, j))
+    }
+
+    /// Number of stored blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when no blocks are stored.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total words of block storage — the per-rank memory statistic behind
+    /// the paper's Fig. 11.
+    pub fn total_words(&self) -> u64 {
+        self.blocks
+            .values()
+            .map(|m| (m.rows() * m.cols()) as u64)
+            .sum()
+    }
+
+    /// Iterate over `(block_row, block_col)` keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.blocks.keys().copied()
+    }
+}
+
+/// Pack a list of `(block_id, Mat)` into one wire payload: the shape of a
+/// SuperLU packed panel message. Meta layout: `[count, id0, rows0, cols0,
+/// id1, ...]`, data: concatenated column-major buffers.
+pub fn pack_blocks(items: &[(usize, &Mat)]) -> Payload {
+    let mut meta = Vec::with_capacity(1 + 3 * items.len());
+    meta.push(items.len());
+    let mut total = 0usize;
+    for (id, m) in items {
+        meta.push(*id);
+        meta.push(m.rows());
+        meta.push(m.cols());
+        total += m.rows() * m.cols();
+    }
+    let mut data = Vec::with_capacity(total);
+    for (_, m) in items {
+        data.extend_from_slice(m.as_slice());
+    }
+    Payload::Packed { meta, data }
+}
+
+/// Unpack a payload produced by [`pack_blocks`] into `(block_id, Mat)`
+/// pairs.
+pub fn unpack_blocks(payload: Payload) -> Vec<(usize, Mat)> {
+    let (meta, data) = payload.into_packed();
+    let count = meta[0];
+    let mut out = Vec::with_capacity(count);
+    let mut off = 0usize;
+    for k in 0..count {
+        let id = meta[1 + 3 * k];
+        let rows = meta[2 + 3 * k];
+        let cols = meta[3 + 3 * k];
+        let len = rows * cols;
+        out.push((id, Mat::from_vec(rows, cols, data[off..off + len].to_vec())));
+        off += len;
+    }
+    debug_assert_eq!(off, data.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ordering::{nested_dissection, Graph, NdOptions};
+    use sparsemat::matgen::grid2d_5pt;
+    use sparsemat::testmats::Geometry;
+
+    fn setup(k: usize) -> (sparsemat::Csr, Symbolic) {
+        let a = grid2d_5pt(k, k, 0.1, 0);
+        let g = Graph::from_matrix(&a);
+        let tree = nested_dissection(
+            &g,
+            NdOptions {
+                leaf_size: 8,
+                geometry: Geometry::Grid2d { nx: k, ny: k },
+                ..Default::default()
+            },
+        );
+        let pa = a.permute_sym(&tree.perm).symmetrize_pattern();
+        let sym = Symbolic::analyze(&pa, &tree, 8);
+        (pa, sym)
+    }
+
+    #[test]
+    fn distributed_stores_partition_all_values() {
+        let (pa, sym) = setup(8);
+        let grid = Grid2d::new(2, 2);
+        let stores: Vec<BlockStore> = (0..4)
+            .map(|p| {
+                let (r, c) = grid.coords_of(p);
+                BlockStore::build(&pa, &sym, &grid, r, c, &|_| true, InitValues::FromMatrix)
+            })
+            .collect();
+        // Every matrix entry appears in exactly one store with its value.
+        for i in 0..pa.nrows {
+            let bi = sym.part.sn_of_col[i];
+            for (j, v) in pa.row_cols(i).iter().zip(pa.row_vals(i)) {
+                let bj = sym.part.sn_of_col[*j];
+                let (r, c) = grid.owner(bi, bj);
+                let store = &stores[grid.rank_of(r, c)];
+                let m = store.get(bi, bj).expect("owner must hold the block");
+                let got = m.at(i - sym.part.ranges[bi].start, j - sym.part.ranges[bj].start);
+                assert_eq!(got, *v);
+                // And in no other store.
+                for (p, other) in stores.iter().enumerate() {
+                    if p != grid.rank_of(r, c) {
+                        assert!(other.get(bi, bj).is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_init_allocates_but_blank() {
+        let (pa, sym) = setup(8);
+        let grid = Grid2d::new(1, 1);
+        let z = BlockStore::build(&pa, &sym, &grid, 0, 0, &|_| true, InitValues::Zero);
+        let f = BlockStore::build(&pa, &sym, &grid, 0, 0, &|_| true, InitValues::FromMatrix);
+        assert_eq!(z.len(), f.len());
+        assert!(z
+            .keys()
+            .all(|(i, j)| z.get(i, j).unwrap().as_slice().iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn keep_filter_limits_blocks() {
+        let (pa, sym) = setup(8);
+        let grid = Grid2d::new(1, 1);
+        let nsup = sym.nsup();
+        let half = nsup / 2;
+        let s = BlockStore::build(&pa, &sym, &grid, 0, 0, &|j| j < half, InitValues::FromMatrix);
+        for (i, j) in s.keys() {
+            assert!(i < half && j < half);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let m1 = Mat::from_fn(3, 2, |i, j| (i + 10 * j) as f64);
+        let m2 = Mat::from_fn(1, 4, |_, j| j as f64);
+        let p = pack_blocks(&[(7, &m1), (9, &m2)]);
+        assert_eq!(p.words(), (1 + 6) as u64 + (6 + 4) as u64);
+        let out = unpack_blocks(p);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 7);
+        assert_eq!(out[0].1, m1);
+        assert_eq!(out[1].0, 9);
+        assert_eq!(out[1].1, m2);
+    }
+
+    #[test]
+    fn pack_empty_list() {
+        let p = pack_blocks(&[]);
+        assert_eq!(unpack_blocks(p).len(), 0);
+    }
+
+    #[test]
+    fn memory_accounting_matches_block_sizes() {
+        let (pa, sym) = setup(8);
+        let grid = Grid2d::new(1, 1);
+        let s = BlockStore::build(&pa, &sym, &grid, 0, 0, &|_| true, InitValues::FromMatrix);
+        let manual: u64 = s
+            .keys()
+            .map(|(i, j)| {
+                let m = s.get(i, j).unwrap();
+                (m.rows() * m.cols()) as u64
+            })
+            .sum();
+        assert_eq!(s.total_words(), manual);
+        // Must equal the symbolic prediction.
+        let predicted: u64 = sym.cost.factor_words.iter().sum();
+        assert_eq!(s.total_words(), predicted);
+    }
+}

@@ -1,0 +1,319 @@
+//! Compressed sparse row storage and the pattern operations used by the
+//! ordering and symbolic phases.
+
+use crate::perm::Perm;
+
+/// A sparse matrix in CSR form. Column indices within each row are kept
+/// sorted and duplicate-free (guaranteed by [`crate::coo::Coo::to_csr`] and
+/// preserved by every operation here).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub row_ptr: Vec<usize>,
+    pub col_idx: Vec<usize>,
+    pub values: Vec<f64>,
+}
+
+impl Csr {
+    /// An empty square matrix of dimension `n`.
+    pub fn empty(n: usize) -> Self {
+        Csr {
+            nrows: n,
+            ncols: n,
+            row_ptr: vec![0; n + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Column indices of row `i`.
+    #[inline]
+    pub fn row_cols(&self, i: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    #[inline]
+    pub fn row_vals(&self, i: usize) -> &[f64] {
+        &self.values[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Entry `(i, j)`, or `0.0` if not stored (binary search within the row).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self.row_cols(i).binary_search(&j) {
+            Ok(pos) => self.values[self.row_ptr[i] + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `y = A * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols);
+        let mut y = vec![0.0; self.nrows];
+        for i in 0..self.nrows {
+            let mut s = 0.0;
+            for (c, v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                s += v * x[*c];
+            }
+            y[i] = s;
+        }
+        y
+    }
+
+    /// The transpose in CSR form (equivalently, this matrix in CSC).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts.clone();
+        for i in 0..self.nrows {
+            for (c, v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                let slot = next[*c];
+                col_idx[slot] = i;
+                values[slot] = *v;
+                next[*c] += 1;
+            }
+        }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr: counts,
+            col_idx,
+            values,
+        }
+    }
+
+    /// True when the *pattern* (not values) is symmetric.
+    pub fn is_pattern_symmetric(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        self.row_ptr == t.row_ptr && self.col_idx == t.col_idx
+    }
+
+    /// The pattern-symmetrized matrix `A + A^T`-structured: entries of `A`
+    /// keep their value; positions only present in `A^T` get an explicit
+    /// zero. This is what static-pivoting LU factors (SuperLU_DIST works on
+    /// the structurally symmetrized pattern after ordering).
+    pub fn symmetrize_pattern(&self) -> Csr {
+        assert_eq!(self.nrows, self.ncols, "square matrices only");
+        let t = self.transpose();
+        let n = self.nrows;
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..n {
+            let (ac, av) = (self.row_cols(i), self.row_vals(i));
+            let tc = t.row_cols(i);
+            // Merge two sorted index lists.
+            let (mut p, mut q) = (0, 0);
+            while p < ac.len() || q < tc.len() {
+                let ca = ac.get(p).copied().unwrap_or(usize::MAX);
+                let ct = tc.get(q).copied().unwrap_or(usize::MAX);
+                if ca < ct {
+                    col_idx.push(ca);
+                    values.push(av[p]);
+                    p += 1;
+                } else if ct < ca {
+                    col_idx.push(ct);
+                    values.push(0.0);
+                    q += 1;
+                } else {
+                    col_idx.push(ca);
+                    values.push(av[p]);
+                    p += 1;
+                    q += 1;
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            nrows: n,
+            ncols: n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Symmetric permutation `B = P A P^T`, where row/column `k` of `B` is
+    /// row/column `perm.old_of(k)` of `A`.
+    pub fn permute_sym(&self, perm: &Perm) -> Csr {
+        assert_eq!(self.nrows, self.ncols);
+        assert_eq!(perm.len(), self.nrows);
+        let n = self.nrows;
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        row_ptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for new_i in 0..n {
+            let old_i = perm.old_of(new_i);
+            scratch.clear();
+            for (c, v) in self.row_cols(old_i).iter().zip(self.row_vals(old_i)) {
+                scratch.push((perm.new_of(*c), *v));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            nrows: n,
+            ncols: n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// The adjacency structure of the associated undirected graph: the
+    /// pattern of `A + A^T` with the diagonal removed. This is the input the
+    /// nested-dissection orderer consumes (paper §II-B).
+    pub fn adjacency(&self) -> (Vec<usize>, Vec<usize>) {
+        let sym = self.symmetrize_pattern();
+        let n = sym.nrows;
+        let mut xadj = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(sym.nnz());
+        xadj.push(0);
+        for i in 0..n {
+            for &c in sym.row_cols(i) {
+                if c != i {
+                    adj.push(c);
+                }
+            }
+            xadj.push(adj.len());
+        }
+        (xadj, adj)
+    }
+
+    /// Dense representation; only sensible for tiny matrices in tests.
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.ncols]; self.nrows];
+        for i in 0..self.nrows {
+            for (c, v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                d[i][*c] = *v;
+            }
+        }
+        d
+    }
+
+    /// Infinity norm of the residual `A x - b`.
+    pub fn residual_inf(&self, x: &[f64], b: &[f64]) -> f64 {
+        let ax = self.matvec(x);
+        ax.iter()
+            .zip(b)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn small() -> Csr {
+        // [ 4 -1  0 ]
+        // [ 0  4 -1 ]
+        // [-1  0  4 ]   (pattern-unsymmetric)
+        let mut c = Coo::new(3, 3);
+        for i in 0..3 {
+            c.push(i, i, 4.0);
+        }
+        c.push(0, 1, -1.0);
+        c.push(1, 2, -1.0);
+        c.push(2, 0, -1.0);
+        c.to_csr()
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = small();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn pattern_symmetry_detection() {
+        let a = small();
+        assert!(!a.is_pattern_symmetric());
+        let s = a.symmetrize_pattern();
+        assert!(s.is_pattern_symmetric());
+        // Symmetrization keeps A's values and adds explicit zeros.
+        assert_eq!(s.get(0, 1), -1.0);
+        assert_eq!(s.get(1, 0), 0.0);
+        assert_eq!(s.nnz(), 9);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = small();
+        let y = a.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![4.0 - 2.0, 8.0 - 3.0, -1.0 + 12.0]);
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_entries() {
+        let a = small().symmetrize_pattern();
+        let perm = Perm::from_old_order(vec![2, 0, 1]);
+        let b = a.permute_sym(&perm);
+        for new_i in 0..3 {
+            for new_j in 0..3 {
+                assert_eq!(
+                    b.get(new_i, new_j),
+                    a.get(perm.old_of(new_i), perm.old_of(new_j))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_drops_diagonal() {
+        let a = small();
+        let (xadj, adj) = a.adjacency();
+        assert_eq!(xadj.len(), 4);
+        // Vertex 0 neighbours: 1 (from A) and 2 (from A^T).
+        assert_eq!(&adj[xadj[0]..xadj[1]], &[1, 2]);
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = Csr::identity(4);
+        let x = vec![9.0, 8.0, 7.0, 6.0];
+        assert_eq!(i.matvec(&x), x);
+    }
+}

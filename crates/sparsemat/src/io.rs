@@ -1,0 +1,210 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! The paper's test matrices come from the SuiteSparse collection, which is
+//! distributed in this format. A downstream user with network access can drop
+//! the real `audikw_1.mtx` etc. next to the binaries and run the experiment
+//! harnesses on them; offline, the generators in [`crate::matgen`] are used.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    Io(std::io::Error),
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(m) => write!(f, "Matrix Market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Read a Matrix Market file from any reader. Supports
+/// `matrix coordinate real|integer|pattern general|symmetric`.
+/// Symmetric inputs are expanded to full storage. Pattern entries get 1.0.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??
+        .to_lowercase();
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err(format!("bad header: {header}")));
+    }
+    if fields[2] != "coordinate" {
+        return Err(parse_err("only coordinate format supported"));
+    }
+    let value_type = fields[3];
+    if !matches!(value_type, "real" | "integer" | "pattern") {
+        return Err(parse_err(format!("unsupported value type {value_type}")));
+    }
+    let symmetry = fields[4];
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(parse_err(format!("unsupported symmetry {symmetry}")));
+    }
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err(format!("bad size field {t}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line must have 3 fields"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::new(nrows, ncols);
+    coo.reserve(if symmetry == "symmetric" { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| parse_err("short entry line"))?
+            .parse()
+            .map_err(|_| parse_err("bad row index"))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| parse_err("short entry line"))?
+            .parse()
+            .map_err(|_| parse_err("bad col index"))?;
+        let v: f64 = if value_type == "pattern" {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|_| parse_err("bad value"))?
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!("entry ({i},{j}) out of range")));
+        }
+        coo.push(i - 1, j - 1, v);
+        if symmetry == "symmetric" && i != j {
+            coo.push(j - 1, i - 1, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Read a Matrix Market file from a path.
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<Csr, MmError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Write a matrix in `matrix coordinate real general` form.
+pub fn write_matrix_market<W: Write>(mut w: W, a: &Csr) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by salu (3D sparse LU reproduction)")?;
+    writeln!(w, "{} {} {}", a.nrows, a.ncols, a.nnz())?;
+    for i in 0..a.nrows {
+        for (c, v) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            writeln!(w, "{} {} {:.17e}", i + 1, c + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Write a matrix to a path.
+pub fn write_matrix_market_file(path: impl AsRef<Path>, a: &Csr) -> std::io::Result<()> {
+    write_matrix_market(std::fs::File::create(path)?, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matgen::grid2d_5pt;
+
+    #[test]
+    fn roundtrip_general() {
+        let a = grid2d_5pt(5, 4, 0.2, 3);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reads_symmetric_expansion() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    3 3 4\n\
+                    1 1 2.0\n\
+                    2 1 -1.0\n\
+                    2 2 2.0\n\
+                    3 3 2.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.nnz(), 5);
+    }
+
+    #[test]
+    fn reads_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 2\n\
+                    2 1\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("%%NotMM\n1 1 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+// Indexing loops are the clearer idiom in numeric kernel code.
+#![allow(clippy::needless_range_loop)]
+
+//! Sparse-matrix substrate for the 3D sparse LU reproduction.
+//!
+//! Provides the input side of the solver stack:
+//!
+//! - [`coo`]/[`csr`]: triplet and compressed-sparse-row storage with the
+//!   conversions, permutations, and pattern operations the ordering and
+//!   symbolic phases need.
+//! - [`matgen`]: generators for the structural proxies of the paper's test
+//!   matrices (Table III) — 2D 5-point/9-point Laplacians (`K2D5pt`,
+//!   `S2D9pt`), planar circuit-like graphs (`G3_circuit`, `ecology1`),
+//!   3D 7-point/27-point Laplacians (`Serena`, `audikw_1` proxies), thin
+//!   slabs (`ldoor` proxy), and 3D-grid KKT saddle-point systems
+//!   (`nlpkkt80` proxy).
+//! - [`io`]: Matrix Market reader/writer for real matrix files.
+//! - [`perm`]: permutation vectors and symmetric permutation `P A P^T`.
+//! - [`testmats`]: the named test-matrix suite used by every experiment
+//!   harness, with per-matrix geometry hints.
+
+pub mod coo;
+pub mod csr;
+pub mod io;
+pub mod matgen;
+pub mod perm;
+pub mod testmats;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use perm::Perm;
+pub use testmats::{test_matrix, test_suite, MatrixClass, TestMatrix};

@@ -1,0 +1,288 @@
+//! Block-level symbolic LU factorization on the supernode quotient graph.
+//!
+//! Works entirely at supernode granularity: the input pattern is reduced to
+//! block form (block `(I, J)` present iff any entry of `A` falls in it), and
+//! the classic symbolic-Cholesky recurrence runs on blocks:
+//!
+//! ```text
+//! struct(s) = blocks of A below s  ∪  ⋃ { struct(c) \ {s} : parent(c) = s }
+//! parent(s) = min struct(s)
+//! ```
+//!
+//! Because the input pattern is symmetric (SuperLU_DIST factors the
+//! symmetrized pattern under static pivoting), `L` and `U` have transposed
+//! block structures: `struct(s)` lists both the `L(I, s)` blocks (column
+//! panel) and the `U(s, I)` blocks (row panel).
+
+use crate::supernode::SnPartition;
+use sparsemat::Csr;
+
+/// The block fill pattern and the supernodal elimination tree.
+#[derive(Clone, Debug)]
+pub struct BlockFill {
+    /// For each supernode `s`, the ascending list of supernodes `I > s`
+    /// such that block `L(I, s)` (equivalently `U(s, I)`) is structurally
+    /// nonzero.
+    pub struct_of: Vec<Vec<usize>>,
+    /// Supernodal elimination-tree parent: the first block row below the
+    /// diagonal block. `None` for roots (supernodes with empty struct).
+    pub parent: Vec<Option<usize>>,
+}
+
+impl BlockFill {
+    /// Number of structurally nonzero off-diagonal blocks in `L` (equal to
+    /// the count in `U` by symmetry).
+    pub fn num_lblocks(&self) -> usize {
+        self.struct_of.iter().map(|s| s.len()).sum()
+    }
+
+    /// Children lists of the supernodal elimination tree.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (s, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[*p].push(s);
+            }
+        }
+        ch
+    }
+
+    /// True if `anc` is an ancestor of `s` (or equal) in the supernodal
+    /// elimination tree.
+    pub fn is_ancestor(&self, s: usize, anc: usize) -> bool {
+        let mut cur = Some(s);
+        while let Some(c) = cur {
+            if c == anc {
+                return true;
+            }
+            cur = self.parent[c];
+        }
+        false
+    }
+}
+
+/// Run the block symbolic factorization. `a` must be pattern-symmetric and
+/// already in elimination (nested-dissection) order.
+pub fn block_symbolic(a: &Csr, part: &SnPartition) -> BlockFill {
+    let nsup = part.nsup();
+
+    // 1. Block pattern of the strict lower triangle of A: for each column
+    //    supernode J, the set of row supernodes I > J. Built from rows
+    //    (pattern symmetric: row i of A lists the columns j, so block
+    //    (sn(i), sn(j)) with sn(i) > sn(j) contributes to column sn(j)).
+    let mut ablocks: Vec<Vec<usize>> = vec![Vec::new(); nsup];
+    for i in 0..a.nrows {
+        let si = part.sn_of_col[i];
+        for &j in a.row_cols(i) {
+            let sj = part.sn_of_col[j];
+            if si > sj {
+                ablocks[sj].push(si);
+            }
+        }
+    }
+    for list in &mut ablocks {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    // 2. Symbolic recurrence in ascending supernode order (elimination
+    //    order). Children contribute their structs to their etree parent.
+    let mut struct_of: Vec<Vec<usize>> = vec![Vec::new(); nsup];
+    let mut parent: Vec<Option<usize>> = vec![None; nsup];
+    let mut pending_children: Vec<Vec<usize>> = vec![Vec::new(); nsup];
+
+    for s in 0..nsup {
+        // Merge A-blocks with children's propagated structs.
+        let mut merged = std::mem::take(&mut ablocks[s]);
+        for &c in &pending_children[s] {
+            merged.extend(struct_of[c].iter().copied().filter(|&i| i > s));
+        }
+        merged.sort_unstable();
+        merged.dedup();
+        if let Some(&p) = merged.first() {
+            parent[s] = Some(p);
+            pending_children[p].push(s);
+        }
+        struct_of[s] = merged;
+    }
+
+    BlockFill { struct_of, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ordering::{nested_dissection, Graph, NdOptions};
+    use sparsemat::matgen::{grid2d_5pt, grid3d_7pt};
+    use sparsemat::testmats::Geometry;
+    use sparsemat::{Coo, Perm};
+
+    fn analyze(a: &sparsemat::Csr, geom: Geometry, leaf: usize, maxsup: usize) -> (BlockFill, SnPartition, Perm) {
+        let g = Graph::from_matrix(a);
+        let tree = nested_dissection(
+            &g,
+            NdOptions {
+                leaf_size: leaf,
+                geometry: geom,
+                ..Default::default()
+            },
+        );
+        let pa = a.permute_sym(&tree.perm).symmetrize_pattern();
+        let part = SnPartition::from_septree(&tree, maxsup);
+        let fill = block_symbolic(&pa, &part);
+        (fill, part, tree.perm)
+    }
+
+    #[test]
+    fn arrow_matrix_has_no_extra_fill() {
+        // Arrow pointing down-right: dense last row/col, diagonal else.
+        // With natural order this has NO fill; block symbolic on scalar
+        // supernodes must reproduce that.
+        let n = 8;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+            if i + 1 < n {
+                coo.push(i, n - 1, 1.0);
+                coo.push(n - 1, i, 1.0);
+            }
+        }
+        let a = coo.to_csr();
+        // Build a trivial septree: all scalar leaves under a root? Simplest:
+        // use a single-node "tree" via identity ND on general geometry with
+        // leaf_size 1 won't give the natural order. Instead drive
+        // block_symbolic directly with a hand-made partition.
+        let part = SnPartition {
+            ranges: (0..n).map(|i| i..i + 1).collect(),
+            sn_of_col: (0..n).collect(),
+            node_of_sn: vec![0; n],
+            sns_of_node: vec![(0..n).collect()],
+        };
+        let fill = block_symbolic(&a, &part);
+        // Column i (i < n-1) has exactly one block: row n-1.
+        for s in 0..n - 1 {
+            assert_eq!(fill.struct_of[s], vec![n - 1], "col {s}");
+            assert_eq!(fill.parent[s], Some(n - 1));
+        }
+        assert!(fill.struct_of[n - 1].is_empty());
+        assert_eq!(fill.parent[n - 1], None);
+    }
+
+    #[test]
+    fn tridiagonal_fill_is_bidiagonal() {
+        let n = 10;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+            }
+        }
+        let a = coo.to_csr();
+        let part = SnPartition {
+            ranges: (0..n).map(|i| i..i + 1).collect(),
+            sn_of_col: (0..n).collect(),
+            node_of_sn: vec![0; n],
+            sns_of_node: vec![(0..n).collect()],
+        };
+        let fill = block_symbolic(&a, &part);
+        for s in 0..n - 1 {
+            assert_eq!(fill.struct_of[s], vec![s + 1]);
+        }
+    }
+
+    #[test]
+    fn fill_closure_property() {
+        // The invariant the numerical phase relies on: if I and J are both
+        // in struct(s) with J < I, then I is in struct(J) — every Schur
+        // update target block exists in the allocated pattern.
+        let a = grid2d_5pt(12, 12, 0.0, 0);
+        let (fill, _, _) = analyze(&a, Geometry::Grid2d { nx: 12, ny: 12 }, 8, 4);
+        for s in 0..fill.struct_of.len() {
+            let st = &fill.struct_of[s];
+            for (xi, &j) in st.iter().enumerate() {
+                for &i in &st[xi + 1..] {
+                    assert!(
+                        fill.struct_of[j].binary_search(&i).is_ok(),
+                        "update target ({i},{j}) from {s} missing"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_closure_property_3d_multilevel() {
+        let a = grid3d_7pt(5, 5, 5, 0.0, 0);
+        let (fill, _, _) = analyze(&a, Geometry::General, 10, 6);
+        for s in 0..fill.struct_of.len() {
+            let st = &fill.struct_of[s];
+            for (xi, &j) in st.iter().enumerate() {
+                for &i in &st[xi + 1..] {
+                    assert!(fill.struct_of[j].binary_search(&i).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parents_are_first_struct_entry_and_acyclic() {
+        let a = grid2d_5pt(10, 10, 0.0, 0);
+        let (fill, _, _) = analyze(&a, Geometry::Grid2d { nx: 10, ny: 10 }, 6, 4);
+        let nsup = fill.parent.len();
+        for s in 0..nsup {
+            match fill.parent[s] {
+                Some(p) => {
+                    assert!(p > s);
+                    assert_eq!(fill.struct_of[s][0], p);
+                }
+                None => assert!(fill.struct_of[s].is_empty()),
+            }
+        }
+        // The last supernode is always a root.
+        assert_eq!(fill.parent[nsup - 1], None);
+    }
+
+    #[test]
+    fn struct_contains_original_blocks() {
+        // Fill only adds blocks, never removes: every A-block below the
+        // diagonal must appear in the struct.
+        let a = grid2d_5pt(8, 8, 0.0, 0);
+        let g = Graph::from_matrix(&a);
+        let tree = nested_dissection(
+            &g,
+            NdOptions {
+                leaf_size: 4,
+                geometry: Geometry::Grid2d { nx: 8, ny: 8 },
+                ..Default::default()
+            },
+        );
+        let pa = a.permute_sym(&tree.perm).symmetrize_pattern();
+        let part = SnPartition::from_septree(&tree, 4);
+        let fill = block_symbolic(&pa, &part);
+        for i in 0..pa.nrows {
+            for &j in pa.row_cols(i) {
+                let (si, sj) = (part.sn_of_col[i], part.sn_of_col[j]);
+                if si > sj {
+                    assert!(
+                        fill.struct_of[sj].binary_search(&si).is_ok(),
+                        "A-block ({si},{sj}) missing from fill"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_query() {
+        let a = grid2d_5pt(8, 8, 0.0, 0);
+        let (fill, _, _) = analyze(&a, Geometry::Grid2d { nx: 8, ny: 8 }, 4, 4);
+        let nsup = fill.parent.len();
+        // Everything reaches the last supernode on a connected matrix.
+        for s in 0..nsup {
+            assert!(fill.is_ancestor(s, nsup - 1));
+        }
+        assert!(!fill.is_ancestor(nsup - 1, 0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Supernode partition: separator-tree nodes split into bounded-width
+//! panels.
+
+use ordering::SepTree;
+use std::ops::Range;
+
+/// The supernode (panel) partition of the matrix columns.
+///
+/// Supernodes are numbered in elimination order; their column ranges tile
+/// `0..n` in ascending order. Every supernode belongs to exactly one
+/// separator-tree node; a wide separator contributes a *chain* of panels
+/// (consecutive supernode ids).
+#[derive(Clone, Debug)]
+pub struct SnPartition {
+    /// Column range of each supernode, ascending and contiguous.
+    pub ranges: Vec<Range<usize>>,
+    /// Supernode id of each column.
+    pub sn_of_col: Vec<usize>,
+    /// Separator-tree node owning each supernode.
+    pub node_of_sn: Vec<usize>,
+    /// Supernodes of each separator-tree node, ascending (the panel chain).
+    pub sns_of_node: Vec<Vec<usize>>,
+}
+
+impl SnPartition {
+    /// Split every tree node's column range into panels of at most `maxsup`
+    /// columns. Empty nodes (empty separators of disconnected subgraphs)
+    /// contribute no supernodes.
+    pub fn from_septree(tree: &SepTree, maxsup: usize) -> SnPartition {
+        assert!(maxsup >= 1, "maxsup must be positive");
+        let n = tree.n();
+        let mut ranges = Vec::new();
+        let mut node_of_sn = Vec::new();
+        let mut sns_of_node = vec![Vec::new(); tree.nodes.len()];
+
+        // Nodes are in postorder but their column ranges are not globally
+        // sorted by node index; supernodes must be emitted in *column*
+        // order. Sort node ids by range start.
+        let mut by_start: Vec<usize> = (0..tree.nodes.len()).collect();
+        by_start.sort_by_key(|&i| tree.nodes[i].cols.start);
+
+        for &node in &by_start {
+            let cols = tree.nodes[node].cols.clone();
+            let mut s = cols.start;
+            while s < cols.end {
+                let e = (s + maxsup).min(cols.end);
+                sns_of_node[node].push(ranges.len());
+                ranges.push(s..e);
+                node_of_sn.push(node);
+                s = e;
+            }
+        }
+
+        let mut sn_of_col = vec![usize::MAX; n];
+        for (sn, r) in ranges.iter().enumerate() {
+            for c in r.clone() {
+                sn_of_col[c] = sn;
+            }
+        }
+        debug_assert!(sn_of_col.iter().all(|&s| s != usize::MAX));
+
+        SnPartition {
+            ranges,
+            sn_of_col,
+            node_of_sn,
+            sns_of_node,
+        }
+    }
+
+    /// Number of supernodes.
+    pub fn nsup(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.sn_of_col.len()
+    }
+
+    /// Width (column count) of supernode `s`.
+    #[inline]
+    pub fn width(&self, s: usize) -> usize {
+        self.ranges[s].end - self.ranges[s].start
+    }
+
+    /// The widest supernode.
+    pub fn max_width(&self) -> usize {
+        (0..self.nsup()).map(|s| self.width(s)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ordering::{nested_dissection, Graph, NdOptions};
+    use sparsemat::matgen::grid2d_5pt;
+    use sparsemat::testmats::Geometry;
+
+    fn tree_16() -> (sparsemat::Csr, SepTree) {
+        let a = grid2d_5pt(16, 16, 0.0, 0);
+        let g = Graph::from_matrix(&a);
+        let tree = nested_dissection(
+            &g,
+            NdOptions {
+                leaf_size: 16,
+                geometry: Geometry::Grid2d { nx: 16, ny: 16 },
+                ..Default::default()
+            },
+        );
+        (a, tree)
+    }
+
+    #[test]
+    fn ranges_tile_and_ascend() {
+        let (_, tree) = tree_16();
+        let part = SnPartition::from_septree(&tree, 8);
+        let mut expect = 0;
+        for r in &part.ranges {
+            assert_eq!(r.start, expect);
+            assert!(r.end > r.start && r.end - r.start <= 8);
+            expect = r.end;
+        }
+        assert_eq!(expect, 256);
+    }
+
+    #[test]
+    fn panel_chains_are_consecutive() {
+        let (_, tree) = tree_16();
+        let part = SnPartition::from_septree(&tree, 4);
+        for sns in &part.sns_of_node {
+            for w in sns.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "panels of one node must be a chain");
+                assert_eq!(part.ranges[w[0]].end, part.ranges[w[1]].start);
+            }
+        }
+    }
+
+    #[test]
+    fn sn_of_col_consistent() {
+        let (_, tree) = tree_16();
+        let part = SnPartition::from_septree(&tree, 8);
+        for (sn, r) in part.ranges.iter().enumerate() {
+            for c in r.clone() {
+                assert_eq!(part.sn_of_col[c], sn);
+            }
+        }
+    }
+
+    #[test]
+    fn maxsup_one_gives_scalar_supernodes() {
+        let (_, tree) = tree_16();
+        let part = SnPartition::from_septree(&tree, 1);
+        assert_eq!(part.nsup(), 256);
+        assert_eq!(part.max_width(), 1);
+    }
+}

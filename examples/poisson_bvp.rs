@@ -1,0 +1,78 @@
+//! A downstream-user scenario: solve the Poisson boundary-value problem
+//! `-Δu = f` on the unit square with a manufactured solution, using the 3D
+//! sparse LU solver as the linear-algebra engine, and verify second-order
+//! discretization convergence as the mesh refines.
+//!
+//! This is the classic acceptance test for a direct solver inside a PDE
+//! code: if the linear solves were inexact, the discretization error would
+//! stop decreasing.
+//!
+//! ```sh
+//! cargo run --release --example poisson_bvp
+//! ```
+
+use salu::prelude::*;
+use std::f64::consts::PI;
+
+/// Manufactured solution `u(x,y) = sin(pi x) sin(pi y)` on the unit square,
+/// so `-Δu = 2 pi^2 u` and `u = 0` on the boundary (matching the 5-point
+/// Laplacian's implicit Dirichlet condition).
+fn manufactured(k: usize) -> (Vec<f64>, Vec<f64>, f64) {
+    let h = 1.0 / (k + 1) as f64;
+    let mut u = Vec::with_capacity(k * k);
+    let mut f = Vec::with_capacity(k * k);
+    for yi in 0..k {
+        for xi in 0..k {
+            let (x, y) = ((xi + 1) as f64 * h, (yi + 1) as f64 * h);
+            let val = (PI * x).sin() * (PI * y).sin();
+            u.push(val);
+            // RHS scaled by h^2 to match the unscaled 5-point stencil.
+            f.push(2.0 * PI * PI * val * h * h);
+        }
+    }
+    (u, f, h)
+}
+
+fn main() {
+    println!("-Laplace(u) = f on the unit square, u = sin(pi x) sin(pi y)\n");
+    println!("{:>6} {:>10} {:>14} {:>12} {:>10}", "grid", "n", "max error", "rate", "resid");
+    let mut prev_err: Option<f64> = None;
+    for k in [16usize, 32, 64, 96] {
+        // Pure Laplacian: drop the generator's diagonal shift by building
+        // the Helmholtz variant with the shift equal to the generator's
+        // regularization.
+        let a = salu::sparsemat::matgen::grid2d_helmholtz(k, k, 0.01, 0);
+        let (u_exact, f_rhs, _h) = manufactured(k);
+        let prep = Prepared::new(a, Geometry::Grid2d { nx: k, ny: k }, 32, 32);
+        let cfg = SolverConfig {
+            pr: 2,
+            pc: 2,
+            pz: 2,
+            refine_steps: 1,
+            ..Default::default()
+        };
+        let out = factor_and_solve(&prep, &cfg, Some(f_rhs.clone()));
+        let u = out.x.expect("solution");
+        let err = u
+            .iter()
+            .zip(&u_exact)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        let resid = prep.a.residual_inf(&u, &f_rhs);
+        let rate = prev_err.map(|p| p / err).unwrap_or(f64::NAN);
+        println!(
+            "{:>4}^2 {:>10} {:>14.3e} {:>12.2} {:>10.1e}",
+            k,
+            k * k,
+            err,
+            rate,
+            resid
+        );
+        prev_err = Some(err);
+    }
+    println!(
+        "\nDoubling the grid should cut the max error ~4x (second-order\n\
+         stencil); the linear-solve residual stays at rounding level, so\n\
+         all visible error is discretization error — the solver is exact."
+    );
+}

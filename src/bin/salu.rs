@@ -1,0 +1,294 @@
+//! `salu` — command-line front end: factor and solve a sparse system on a
+//! simulated 3D process grid and report the paper's statistics.
+//!
+//! ```sh
+//! # a generated model problem
+//! salu --gen grid2d:128 --grid 2x2x4
+//! salu --gen grid3d:16 --grid 2x2x2 --refine 1
+//! salu --gen kkt:10 --grid 1x2x8
+//!
+//! # a Matrix Market file (e.g. a real SuiteSparse matrix)
+//! salu --mtx path/to/matrix.mtx --grid 4x4x2 --maxsup 64
+//! ```
+
+use salu::prelude::*;
+use std::process::exit;
+
+struct Args {
+    gen_spec: Option<String>,
+    mtx: Option<String>,
+    grid: (usize, usize, usize),
+    maxsup: usize,
+    leaf: usize,
+    lookahead: usize,
+    refine: usize,
+    compare_2d: bool,
+    condest: bool,
+    chol: bool,
+    symmetric: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: salu (--gen KIND:SIZE | --mtx FILE) [options]\n\
+         \n\
+         matrix sources:\n\
+         \x20 --gen grid2d:K     2D 5-point Laplacian on a K x K grid\n\
+         \x20 --gen grid2d9:K    2D 9-point Laplacian\n\
+         \x20 --gen grid3d:K     3D 7-point Laplacian on a K^3 grid\n\
+         \x20 --gen grid3d27:K   3D 27-point Laplacian\n\
+         \x20 --gen kkt:K        KKT saddle-point system on a K^3 grid\n\
+         \x20 --mtx FILE         Matrix Market coordinate file\n\
+         \n\
+         options:\n\
+         \x20 --grid RxCxZ       process grid (default 2x2x2; Z must be a power of 2)\n\
+         \x20 --maxsup N         max supernode width (default 32)\n\
+         \x20 --leaf N           nested-dissection leaf size (default 32)\n\
+         \x20 --lookahead N      panel lookahead window (default 8)\n\
+         \x20 --refine N         iterative-refinement sweeps (default 1)\n\
+         \x20 --no-compare       skip the 2D-baseline comparison run\n\
+         \x20 --condest          estimate the 1-norm condition number (sequential)\n\
+         \x20 --chol             also run the Cholesky variant (needs --sym)\n\
+         \x20 --sym              generate value-symmetric matrices (for --chol)"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        gen_spec: None,
+        mtx: None,
+        grid: (2, 2, 2),
+        maxsup: 32,
+        leaf: 32,
+        lookahead: 8,
+        refine: 1,
+        compare_2d: true,
+        condest: false,
+        chol: false,
+        symmetric: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--gen" => args.gen_spec = Some(val("--gen")),
+            "--mtx" => args.mtx = Some(val("--mtx")),
+            "--grid" => {
+                let v = val("--grid");
+                let parts: Vec<usize> = v.split('x').filter_map(|t| t.parse().ok()).collect();
+                if parts.len() != 3 {
+                    eprintln!("bad --grid '{v}', expected RxCxZ");
+                    usage();
+                }
+                args.grid = (parts[0], parts[1], parts[2]);
+            }
+            "--maxsup" => args.maxsup = val("--maxsup").parse().unwrap_or_else(|_| usage()),
+            "--leaf" => args.leaf = val("--leaf").parse().unwrap_or_else(|_| usage()),
+            "--lookahead" => args.lookahead = val("--lookahead").parse().unwrap_or_else(|_| usage()),
+            "--refine" => args.refine = val("--refine").parse().unwrap_or_else(|_| usage()),
+            "--no-compare" => args.compare_2d = false,
+            "--condest" => args.condest = true,
+            "--chol" => args.chol = true,
+            "--sym" => args.symmetric = true,
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage();
+            }
+        }
+    }
+    if args.gen_spec.is_none() && args.mtx.is_none() {
+        usage();
+    }
+    let (pr, pc, pz) = args.grid;
+    if pr == 0 || pc == 0 || pz == 0 || !pz.is_power_of_two() {
+        eprintln!("bad --grid {pr}x{pc}x{pz}: dimensions must be positive and Z a power of two");
+        usage();
+    }
+    args
+}
+
+fn build_matrix(args: &Args) -> (Csr, Geometry, String) {
+    let unsym = if args.symmetric { 0.0 } else { 0.1 };
+    if let Some(path) = &args.mtx {
+        let a = salu::sparsemat::io::read_matrix_market_file(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            exit(1)
+        });
+        return (a, Geometry::General, path.clone());
+    }
+    let spec = args.gen_spec.as_ref().unwrap();
+    let (kind, size) = spec
+        .split_once(':')
+        .unwrap_or_else(|| {
+            eprintln!("bad --gen '{spec}', expected KIND:SIZE");
+            usage()
+        });
+    let k: usize = size.parse().unwrap_or_else(|_| {
+        eprintln!("bad size in --gen '{spec}'");
+        usage()
+    });
+    match kind {
+        "grid2d" => (
+            salu::sparsemat::matgen::grid2d_5pt(k, k, unsym, 1),
+            Geometry::Grid2d { nx: k, ny: k },
+            format!("2D 5-pt {k}x{k}"),
+        ),
+        "grid2d9" => (
+            salu::sparsemat::matgen::grid2d_9pt(k, k, unsym, 1),
+            Geometry::Grid2d { nx: k, ny: k },
+            format!("2D 9-pt {k}x{k}"),
+        ),
+        "grid3d" => (
+            salu::sparsemat::matgen::grid3d_7pt(k, k, k, unsym, 1),
+            Geometry::Grid3d { nx: k, ny: k, nz: k },
+            format!("3D 7-pt {k}^3"),
+        ),
+        "grid3d27" => (
+            salu::sparsemat::matgen::grid3d_27pt(k, k, k, unsym, 1),
+            Geometry::Grid3d { nx: k, ny: k, nz: k },
+            format!("3D 27-pt {k}^3"),
+        ),
+        "kkt" => (
+            salu::sparsemat::matgen::kkt_3d(k, k, k, 1e-2, 1),
+            Geometry::General,
+            format!("KKT on {k}^3 grid"),
+        ),
+        other => {
+            eprintln!("unknown generator kind '{other}'");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (a, geometry, label) = build_matrix(&args);
+    let (pr, pc, pz) = args.grid;
+    println!("matrix : {label}  (n = {}, nnz = {})", a.nrows, a.nnz());
+    println!("grid   : {pr} x {pc} x {pz}  ({} simulated ranks)", pr * pc * pz);
+
+    let x_true: Vec<f64> = (0..a.nrows).map(|i| ((i % 21) as f64) - 10.0).collect();
+    let b = a.matvec(&x_true);
+
+    let t0 = std::time::Instant::now();
+    let prep = Prepared::new(a, geometry, args.leaf, args.maxsup);
+    println!(
+        "analyze: {} supernodes, {:.2} Mwords LU, {:.1} Mflop predicted  [{:.2}s wall]",
+        prep.sym.nsup(),
+        prep.sym.stats().factor_words as f64 / 1e6,
+        prep.sym.stats().total_flops as f64 / 1e6,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let cfg = SolverConfig {
+        pr,
+        pc,
+        pz,
+        lookahead: args.lookahead,
+        refine_steps: args.refine,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let out = factor_and_solve(&prep, &cfg, Some(b.clone()));
+    let wall = t0.elapsed().as_secs_f64();
+    let x = out.x.as_ref().expect("solution");
+    let bmax = b.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+    println!("\nfactor+solve  [{wall:.2}s wall]");
+    println!("  residual |Ax-b|/|b|   = {:.2e}", prep.a.residual_inf(x, &b) / bmax);
+    println!("  pivot perturbations   = {}", out.perturbations);
+    println!("  simulated time        = {:.4} s", out.makespan());
+    println!("  W_fact / W_red        = {} / {} words per rank (max)", out.w_fact(), out.w_red());
+    println!("  peak memory per rank  = {:.2} MB", out.max_store_words as f64 * 8.0 / 1e6);
+
+    if args.condest {
+        use salu::slu2d::store::{BlockStore, InitValues};
+        use salu::slu2d::{condest_1, seq_factor};
+        let grid = salu::simgrid::Grid2d::new(1, 1);
+        let mut store = BlockStore::build(
+            &prep.pa, &prep.sym, &grid, 0, 0, &|_| true, InitValues::FromMatrix,
+        );
+        seq_factor(&mut store, &prep.sym, 1e-10);
+        println!(
+            "  est. condition (1-norm)= {:.3e}",
+            condest_1(&prep.pa, &store, &prep.sym)
+        );
+    }
+
+    if args.chol {
+        use salu::slu2d::{build_chol_store, chol_factor, chol_solve};
+        // The Cholesky path needs value symmetry; verify before running.
+        let sym_vals = (0..prep.pa.nrows).all(|i| {
+            prep.pa
+                .row_cols(i)
+                .iter()
+                .zip(prep.pa.row_vals(i))
+                .all(|(j, v)| (prep.pa.get(*j, i) - v).abs() < 1e-14)
+        });
+        if !sym_vals {
+            println!("\n--chol skipped: matrix values are not symmetric");
+        } else {
+            let mut cs = build_chol_store(&prep.pa, &prep.sym);
+            match chol_factor(&mut cs, &prep.sym) {
+                Ok(()) => {
+                    let pb = prep.permute_rhs(&b);
+                    let px = chol_solve(&cs, &prep.sym, &pb);
+                    let xs = prep.unpermute_solution(&px);
+                    println!(
+                        "\nCholesky variant: residual = {:.2e} (storage {:.0}% of LU)",
+                        prep.a.residual_inf(&xs, &b) / bmax,
+                        100.0 * cs.total_words() as f64
+                            / prep.sym.stats().factor_words as f64
+                    );
+                }
+                Err(e) => println!(
+                    "\nCholesky variant: matrix not SPD (supernode {} col {})",
+                    e.supernode, e.column
+                ),
+            }
+        }
+    }
+
+    if args.compare_2d && pz > 1 {
+        let (br, bc) = bench_layer(pr * pc * pz);
+        let base = factor_only(
+            &prep,
+            &SolverConfig {
+                pr: br,
+                pc: bc,
+                pz: 1,
+                lookahead: args.lookahead,
+                ..Default::default()
+            },
+        );
+        println!("\n2D baseline ({br} x {bc} x 1):");
+        println!("  simulated time        = {:.4} s", base.makespan());
+        println!("  W_fact                = {} words per rank (max)", base.w_fact());
+        println!(
+            "  3D speedup            = {:.2}x   comm reduction = {:.2}x   memory overhead = {:+.0}%",
+            base.makespan() / out_factor_makespan(&prep, &cfg),
+            base.w_fact() as f64 / (out.w_fact() + out.w_red()).max(1) as f64,
+            100.0 * (out.total_store_words as f64 / base.total_store_words as f64 - 1.0),
+        );
+    }
+}
+
+/// Factor-only makespan for the timing comparison (excludes solve).
+fn out_factor_makespan(prep: &Prepared, cfg: &SolverConfig) -> f64 {
+    factor_only(prep, cfg).makespan()
+}
+
+/// Near-square layer for the baseline run.
+fn bench_layer(p: usize) -> (usize, usize) {
+    let mut pr = (p as f64).sqrt() as usize;
+    while pr > 1 && !p.is_multiple_of(pr) {
+        pr -= 1;
+    }
+    (pr.max(1), p / pr.max(1))
+}
