@@ -50,7 +50,11 @@ fn bench_2d_vs_3d(c: &mut Criterion) {
     let mut g = c.benchmark_group("factor_dist");
     g.sample_size(10);
     let p = prep(48);
-    for (label, pr, pc, pz) in [("2d_2x2", 2, 2, 1), ("3d_2x1x2", 2, 1, 2), ("3d_1x1x4", 1, 1, 4)] {
+    for (label, pr, pc, pz) in [
+        ("2d_2x2", 2, 2, 1),
+        ("3d_2x1x2", 2, 1, 2),
+        ("3d_1x1x4", 1, 1, 4),
+    ] {
         g.bench_function(BenchmarkId::new(label, 48 * 48), |bch| {
             bch.iter(|| {
                 let cfg = SolverConfig {

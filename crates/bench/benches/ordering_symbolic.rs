@@ -79,5 +79,10 @@ fn bench_symbolic(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_nd_geometric, bench_nd_multilevel, bench_symbolic);
+criterion_group!(
+    benches,
+    bench_nd_geometric,
+    bench_nd_multilevel,
+    bench_symbolic
+);
 criterion_main!(benches);

@@ -33,8 +33,15 @@ fn bench_lu_vs_cholesky(c: &mut Criterion) {
     g.bench_function("lu_seq_48x48", |bch| {
         bch.iter(|| {
             let grid = simgrid::Grid2d::new(1, 1);
-            let mut store =
-                BlockStore::build(&p.pa, &p.sym, &grid, 0, 0, &|_| true, InitValues::FromMatrix);
+            let mut store = BlockStore::build(
+                &p.pa,
+                &p.sym,
+                &grid,
+                0,
+                0,
+                &|_| true,
+                InitValues::FromMatrix,
+            );
             seq_factor(&mut store, &p.sym, 1e-10);
             black_box(store.total_words())
         });
@@ -102,5 +109,10 @@ fn bench_summa(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_lu_vs_cholesky, bench_solve_strategies, bench_summa);
+criterion_group!(
+    benches,
+    bench_lu_vs_cholesky,
+    bench_solve_strategies,
+    bench_summa
+);
 criterion_main!(benches);

@@ -75,12 +75,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["matrix", "greedy crit-path (flop)", "naive crit-path (flop)", "naive/greedy"],
+        &[
+            "matrix",
+            "greedy crit-path (flop)",
+            "naive crit-path (flop)",
+            "naive/greedy",
+        ],
         &rows,
     );
-    println!(
-        "(the paper's Fig. 8 example: naive = 95 units vs greedy = 75 units)"
-    );
+    println!("(the paper's Fig. 8 example: naive = 95 units vs greedy = 75 units)");
 
     println!("\nAblation 3: supernode width maxsup (k2d5pt, 2x2x2 grid)\n");
     let tm = matrix("k2d5pt");
@@ -106,7 +109,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["maxsup", "#supernodes", "T_sim (s)", "max msgs", "max words", "mem total"],
+        &[
+            "maxsup",
+            "#supernodes",
+            "T_sim (s)",
+            "max msgs",
+            "max words",
+            "mem total",
+        ],
         &rows,
     );
     println!(

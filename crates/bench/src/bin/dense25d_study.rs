@@ -20,9 +20,7 @@ fn main() {
     let n = 384;
     let (pr, pc) = (2usize, 2usize);
     let nb = 8;
-    println!(
-        "2.5D SUMMA study: n = {n}, layers of {pr}x{pc}, panel width {nb}\n"
-    );
+    println!("2.5D SUMMA study: n = {n}, layers of {pr}x{pc}, panel width {nb}\n");
     let mut rows = Vec::new();
     for cz in [1usize, 2, 4, 8] {
         let grid3 = Grid3d::new(pr, pc, cz);
@@ -39,8 +37,8 @@ fn main() {
         let out = machine.run(move |rank| {
             let comms = build_grid_comms(rank, &grid3);
             let (my_r, my_c, my_z) = comms.coords;
-            let inputs = (my_z == 0)
-                .then(|| (dist.tile_of(&a, my_r, my_c), dist.tile_of(&b, my_r, my_c)));
+            let inputs =
+                (my_z == 0).then(|| (dist.tile_of(&a, my_r, my_c), dist.tile_of(&b, my_r, my_c)));
             summa_25d(rank, &comms, &dist, cz, inputs, nb);
         });
         let s = out.summary();
@@ -59,7 +57,16 @@ fn main() {
         ]);
     }
     print_table(
-        &["c", "P", "W_summa", "W_repl", "W_red", "W_total", "max msgs", "T_sim (s)"],
+        &[
+            "c",
+            "P",
+            "W_summa",
+            "W_repl",
+            "W_red",
+            "W_total",
+            "max msgs",
+            "T_sim (s)",
+        ],
         &rows,
     );
     println!(

@@ -1,7 +1,10 @@
 //! Fig. 10: per-process communication volume by grid configuration, split
 //! into `W_fact` (xy-plane words during 2D factorization) and `W_red`
 //! (z-axis words during ancestor reduction), for a planar matrix (K2D5pt)
-//! and a non-planar one (nlpkkt), at two machine sizes.
+//! and a non-planar one (nlpkkt), at two machine sizes. The `W_recv`
+//! column is the ingest-side counterpart (max per-rank received bytes),
+//! and every row checks the delivery invariant
+//! `total_recv_words == total_sent_words`.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fig10_comm_volume
@@ -25,6 +28,9 @@ fn main() {
                 let wf = out.w_fact() * 8;
                 let wr = out.w_red() * 8;
                 let total = wf + wr;
+                let s = out.summary();
+                // Delivery invariant: every sent word was consumed.
+                assert_eq!(s.total_recv_words, s.total_sent_words);
                 let trend = match w_prev {
                     Some(prev) if total > prev => "up".to_string(),
                     Some(_) => "down".to_string(),
@@ -36,10 +42,21 @@ fn main() {
                     format!("{wf}"),
                     format!("{wr}"),
                     format!("{total}"),
+                    format!("{}", s.max_recv_words * 8),
                     trend,
                 ]);
             }
-            print_table(&["Pxy x Pz", "W_fact (B)", "W_red (B)", "W_total (B)", "trend"], &rows);
+            print_table(
+                &[
+                    "Pxy x Pz",
+                    "W_fact (B)",
+                    "W_red (B)",
+                    "W_total (B)",
+                    "W_recv (B)",
+                    "trend",
+                ],
+                &rows,
+            );
             println!();
         }
     }

@@ -11,7 +11,9 @@
 //! cargo run --release -p bench --bin fig9_normalized_time
 //! ```
 
-use bench::{critical_path_split, prepare, print_table, run_config, scale_from_env, suite, PZ_SWEEP};
+use bench::{
+    critical_path_split, prepare, print_table, run_config_traced, scale_from_env, suite, PZ_SWEEP,
+};
 
 fn main() {
     let scale = scale_from_env();
@@ -19,14 +21,17 @@ fn main() {
 
     for p in [16usize, 64] {
         let nodes = if p == 16 { 16 } else { 64 };
-        println!("\n=== {p} simulated ranks (paper: {nodes} nodes / {} MPI ranks) ===", nodes * 6);
+        println!(
+            "\n=== {p} simulated ranks (paper: {nodes} nodes / {} MPI ranks) ===",
+            nodes * 6
+        );
         let mut rows = Vec::new();
         for tm in suite(scale) {
             let prep = prepare(&tm);
             // Normalizer: the 2D algorithm on P = 16 (the paper normalizes
             // both plots by the 16-node 2D time). At p = 16 this is also the
             // Pz = 1 sweep cell, so compute the run once and reuse it.
-            let base_run = run_config(&prep, 16, 1).expect("2D baseline");
+            let base_run = run_config_traced(&prep, 16, 1).expect("2D baseline");
             let base = base_run.makespan();
             let mut cells = vec![tm.name.to_string(), format!("{:?}", tm.class)];
             let mut best = f64::INFINITY;
@@ -36,7 +41,7 @@ fn main() {
                 let out = if p == 16 && pz == 1 {
                     Some(&base_run)
                 } else {
-                    run = run_config(&prep, p, pz);
+                    run = run_config_traced(&prep, p, pz);
                     run.as_ref()
                 };
                 match out {

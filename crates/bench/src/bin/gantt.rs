@@ -2,46 +2,34 @@
 //! the same problem on the same rank count. Makes the paper's story
 //! visible: the 2D baseline's ranks spend most of the critical path in
 //! communication stripes, while the 3D run shows dense parallel compute per
-//! grid followed by short z-axis reductions.
+//! grid followed by short z-axis reductions. The critical-path report under
+//! each chart attributes the makespan to phases and activity kinds.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin gantt
 //! ```
 
-use lu3d::solver::SolverConfig;
-use simgrid::{render_gantt, TimeModel};
+use lu3d::solver::{factor_only, Output3d, SolverConfig};
+use simgrid::render_gantt;
 use slu2d::driver::Prepared;
 use sparsemat::testmats::Geometry;
 
-fn run_traced(prep: &Prepared, pr: usize, pc: usize, pz: usize) -> Vec<simgrid::RankReport> {
-    // Mirror lu3d::solver::factor_only but on a tracing machine.
-    use lu3d::{factor_3d, EtreeForest};
-    use simgrid::topology::build_grid_comms;
-    use simgrid::{Grid3d, Machine};
-    use slu2d::store::BlockStore;
-    use std::sync::Arc;
+fn run_traced(prep: &Prepared, pr: usize, pc: usize, pz: usize) -> Output3d {
+    let cfg = SolverConfig {
+        pr,
+        pc,
+        pz,
+        tracing: true,
+        ..Default::default()
+    };
+    factor_only(prep, &cfg)
+}
 
-    let grid3 = Grid3d::new(pr, pc, pz);
-    let machine = Machine::new(grid3.size(), TimeModel::edison_like()).with_tracing();
-    let forest = Arc::new(EtreeForest::build(&prep.tree, &prep.sym, pz));
-    let pa = Arc::clone(&prep.pa);
-    let sym = Arc::clone(&prep.sym);
-    let opts = slu2d::factor2d::FactorOpts::default();
-    let out = machine.run(move |rank| {
-        let comms = build_grid_comms(rank, &grid3);
-        let (my_r, my_c, my_z) = comms.coords;
-        let keep = |sn: usize| forest.keeps(sym.part.node_of_sn[sn], my_z);
-        let value_pred = |bi: usize, bj: usize| {
-            let (ni, nj) = (sym.part.node_of_sn[bi], sym.part.node_of_sn[bj]);
-            let deeper = if forest.part_level[ni] >= forest.part_level[nj] { ni } else { nj };
-            forest.factoring_grid(deeper) == my_z
-        };
-        let mut store = BlockStore::build_with_value_pred(
-            &pa, &sym, &grid3.grid2d, my_r, my_c, &keep, &value_pred,
-        );
-        factor_3d(rank, &grid3, &comms, &mut store, &sym, &forest, opts);
-    });
-    out.reports
+fn show(out: &Output3d) {
+    print!("{}", render_gantt(&out.reports, 100));
+    if let Some(cp) = out.critical_path() {
+        print!("{}", cp.render());
+    }
 }
 
 fn main() {
@@ -51,16 +39,16 @@ fn main() {
     println!("2D Poisson n = {} on 8 simulated ranks\n", nx * nx);
 
     println!("== 2D baseline (2x4x1) ==");
-    let reports = run_traced(&prep, 2, 4, 1);
-    print!("{}", render_gantt(&reports, 100));
+    let out2 = run_traced(&prep, 2, 4, 1);
+    show(&out2);
 
     println!("\n== 3D algorithm (1x2x4) ==");
-    let reports = run_traced(&prep, 1, 2, 4);
-    print!("{}", render_gantt(&reports, 100));
+    let out3 = run_traced(&prep, 1, 2, 4);
+    show(&out3);
 
-    let cfg2 = SolverConfig { pr: 2, pc: 4, pz: 1, ..Default::default() };
-    let cfg3 = SolverConfig { pr: 1, pc: 2, pz: 4, ..Default::default() };
-    let t2 = lu3d::solver::factor_only(&prep, &cfg2).makespan();
-    let t3 = lu3d::solver::factor_only(&prep, &cfg3).makespan();
-    println!("\nsimulated time: 2D {t2:.4}s vs 3D {t3:.4}s ({:.2}x)", t2 / t3);
+    let (t2, t3) = (out2.makespan(), out3.makespan());
+    println!(
+        "\nsimulated time: 2D {t2:.4}s vs 3D {t3:.4}s ({:.2}x)",
+        t2 / t3
+    );
 }

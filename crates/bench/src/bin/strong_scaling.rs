@@ -27,7 +27,10 @@ fn main() {
     for name in ["k2d5pt", "serena3d"] {
         let tm = matrix(name);
         let prep = prepare(&tm);
-        println!("--- {name} ({}, {:?}) n = {} ---", tm.paper_name, tm.class, tm.matrix.nrows);
+        println!(
+            "--- {name} ({}, {:?}) n = {} ---",
+            tm.paper_name, tm.class, tm.matrix.nrows
+        );
         let mut rows = Vec::new();
         let mut best2d_overall = f64::INFINITY;
         let mut best3d_overall = f64::INFINITY;
@@ -87,7 +90,10 @@ fn main() {
                 format!("{:.2}x", t2 / t3),
             ]);
         }
-        print_table(&["P", "T_2D (s)", "T_3D best (s)", "best Pz", "3D speedup"], &rows);
+        print_table(
+            &["P", "T_2D (s)", "T_3D best (s)", "best Pz", "3D speedup"],
+            &rows,
+        );
         println!(
             "2D stops improving at P = {p_min_2d}; 3D at P = {p_min_3d} \
              ({}x more processes usable)\n",

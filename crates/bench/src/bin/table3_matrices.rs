@@ -28,7 +28,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["name", "paper matrix", "class", "n", "nnz/n", "#Flop", "T_fact (sim s)"],
+        &[
+            "name",
+            "paper matrix",
+            "class",
+            "n",
+            "nnz/n",
+            "#Flop",
+            "T_fact (sim s)",
+        ],
         &rows,
     );
     println!(

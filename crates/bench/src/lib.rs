@@ -10,8 +10,8 @@
 //! EXPERIMENTS.md.
 
 use lu3d::solver::{factor_only, Output3d, SolverConfig};
-use slu2d::driver::Prepared;
 use simgrid::TimeModel;
+use slu2d::driver::Prepared;
 use sparsemat::testmats::{test_matrix, Scale, TestMatrix};
 
 /// Scale selected via the `SALU_SCALE` environment variable
@@ -79,9 +79,24 @@ pub fn run_config(prep: &Prepared, p: usize, pz: usize) -> Option<Output3d> {
     Some(factor_only(prep, &cfg))
 }
 
-/// Critical-path `(T_scu, T_comm)` decomposition: the clock-maximal rank's
-/// compute and communication seconds (the stacked components of Fig. 9).
+/// Like [`run_config`] but with span tracing on, so the output supports
+/// [`Output3d::critical_path`] / [`Output3d::chrome_trace`].
+pub fn run_config_traced(prep: &Prepared, p: usize, pz: usize) -> Option<Output3d> {
+    let mut cfg = config(p, pz, TimeModel::edison_like())?;
+    cfg.tracing = true;
+    Some(factor_only(prep, &cfg))
+}
+
+/// Critical-path `(T_scu, T_comm)` decomposition — the stacked components
+/// of Fig. 9. For a traced run this walks the send→recv dependency graph
+/// ([`simgrid::CriticalPath`]): `T_scu` is the compute time on the actual
+/// critical path, `T_comm` everything else (transfers, waits, idle). For
+/// untraced runs it falls back to the clock-maximal rank's totals.
 pub fn critical_path_split(out: &Output3d) -> (f64, f64) {
+    if let Some(cp) = out.critical_path() {
+        let comp = cp.kind_attribution().get("comp").copied().unwrap_or(0.0);
+        return (comp, cp.makespan - comp);
+    }
     let crit = out
         .reports
         .iter()
@@ -107,7 +122,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", line(headers.iter().map(|s| s.to_string()).collect()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", line(row.clone()));
     }

@@ -97,12 +97,16 @@ pub fn factor_3d(
         outcome.active_levels += 1;
         let q = my_z >> (l - lvl);
         let nodes = forest.supernodes_of(lvl, q, &sym.part);
+        // One span per active forest level; the `fact`/`reduce` phase spans
+        // and per-supernode node spans nest underneath it.
+        let lvl_span = rank.span_enter(simgrid::SpanCat::Level, &format!("level{lvl}"));
         rank.set_phase("fact");
         let fo = factor_nodes(rank, &env, store, sym, &nodes, &mut done);
         outcome.perturbations += fo.perturbations;
         outcome.lookahead_hits += fo.lookahead_hits;
 
         if lvl == 0 {
+            rank.span_exit(lvl_span);
             break;
         }
         // Ancestor reduction: pair (k even) <- (k odd) along the z-axis.
@@ -115,6 +119,7 @@ pub fn factor_3d(
             let dest_z = my_z - step;
             reduce_ancestors(rank, comms, store, sym, forest, lvl, my_z, dest_z, true);
         }
+        rank.span_exit(lvl_span);
     }
     outcome
 }

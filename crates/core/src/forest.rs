@@ -88,7 +88,8 @@ impl EtreeForest {
             }
         }
 
-        let mut parts: Vec<Vec<Vec<usize>>> = (0..=l).map(|lvl| vec![Vec::new(); 1 << lvl]).collect();
+        let mut parts: Vec<Vec<Vec<usize>>> =
+            (0..=l).map(|lvl| vec![Vec::new(); 1 << lvl]).collect();
         let mut part_level = vec![usize::MAX; nn];
         let mut part_index = vec![usize::MAX; nn];
 
@@ -181,7 +182,12 @@ impl EtreeForest {
             self.parts[lvl][q].iter().map(|&v| node_cost[v]).sum()
         };
         // cost(lvl, q) = part cost + max of the two child parts.
-        fn rec(f: &EtreeForest, lvl: usize, q: usize, part_cost: &dyn Fn(usize, usize) -> u64) -> u64 {
+        fn rec(
+            f: &EtreeForest,
+            lvl: usize,
+            q: usize,
+            part_cost: &dyn Fn(usize, usize) -> u64,
+        ) -> u64 {
             let own = part_cost(lvl, q);
             if lvl == f.l {
                 own
@@ -371,7 +377,11 @@ mod tests {
             &g,
             NdOptions {
                 leaf_size: 12,
-                geometry: Geometry::Grid3d { nx: 6, ny: 6, nz: 6 },
+                geometry: Geometry::Grid3d {
+                    nx: 6,
+                    ny: 6,
+                    nz: 6,
+                },
                 ..Default::default()
             },
         );

@@ -26,8 +26,8 @@ use simgrid::topology::GridComms;
 use simgrid::{Grid3d, Payload, Rank};
 use slu2d::factor2d::{FactorEnv, FactorOpts};
 use slu2d::solve2d::{apply_ancestor_x, backward_nodes, forward_nodes, DistSolveState};
-use std::sync::Arc;
 use slu2d::store::BlockStore;
+use std::sync::Arc;
 use symbolic::Symbolic;
 
 const T_ACC_RED: u64 = 12 << 48;
@@ -70,8 +70,10 @@ pub fn solve_3d(
         }
         let q = my_z >> (l - lvl);
         let nodes = forest.supernodes_of(lvl, q, &sym.part);
+        let sweep_span = rank.span_enter(simgrid::SpanCat::Level, &format!("fwd{lvl}"));
         forward_nodes(rank, &env, store, sym, &nodes, b, &mut st);
         if lvl == 0 {
+            rank.span_exit(sweep_span);
             break;
         }
         // Pairwise accumulator reduction over all shared ancestor levels.
@@ -95,8 +97,14 @@ pub fn solve_3d(
             for &s in &ancestors {
                 data.extend_from_slice(&st.acc[sym.part.ranges[s].clone()]);
             }
-            rank.send(&comms.zline, dest_z, T_ACC_RED | lvl as u64, Payload::F64s(data));
+            rank.send(
+                &comms.zline,
+                dest_z,
+                T_ACC_RED | lvl as u64,
+                Payload::F64s(data),
+            );
         }
+        rank.span_exit(sweep_span);
     }
 
     // ---- Backward sweep: root to leaves, x broadcast down the pair tree. ----
@@ -106,6 +114,7 @@ pub fn solve_3d(
             continue;
         }
         let k = my_z / step;
+        let sweep_span = rank.span_enter(simgrid::SpanCat::Level, &format!("bwd{lvl}"));
         // A grid is "born" at the first level where it is active; except for
         // grid 0 (born at level 0), it first receives the ancestor solution
         // segments from its pair partner.
@@ -155,6 +164,7 @@ pub fn solve_3d(
                 Payload::Packed { meta, data },
             );
         }
+        rank.span_exit(sweep_span);
     }
     x_out
 }
@@ -210,7 +220,11 @@ mod tests {
     fn distributed_solve_mixed_layers() {
         let r = residual_with(
             grid3d_7pt(5, 5, 5, 0.1, 2),
-            Geometry::Grid3d { nx: 5, ny: 5, nz: 5 },
+            Geometry::Grid3d {
+                nx: 5,
+                ny: 5,
+                nz: 5,
+            },
             2,
             2,
             4,
@@ -249,20 +263,14 @@ mod tests {
         assert_eq!(fact.w_fact(), solved.w_fact());
         assert_eq!(fact.w_red(), solved.w_red());
         // ... and the solve did send something, under its own label.
-        let solve_words =
-            simgrid::TrafficSummary::max_sent_words_in(&solved.reports, "solve");
+        let solve_words = simgrid::TrafficSummary::max_sent_words_in(&solved.reports, "solve");
         assert!(solve_words > 0);
     }
 }
 
 /// All supernodes in the ancestor chain above level `lvl` for grid `z`,
 /// ascending.
-fn ancestor_supernodes(
-    forest: &EtreeForest,
-    sym: &Symbolic,
-    z: usize,
-    lvl: usize,
-) -> Vec<usize> {
+fn ancestor_supernodes(forest: &EtreeForest, sym: &Symbolic, z: usize, lvl: usize) -> Vec<usize> {
     let l = forest.l;
     let mut out = Vec::new();
     for la in 0..lvl {

@@ -46,6 +46,10 @@ pub struct SolverConfig {
     pub solve_strategy: SolveStrategy,
     /// Machine model for the simulated cluster.
     pub model: TimeModel,
+    /// Record per-rank span/activity traces (enables the Gantt chart,
+    /// Chrome trace export, and critical-path attribution on the output).
+    /// Costs memory proportional to the operation count; off by default.
+    pub tracing: bool,
 }
 
 impl Default for SolverConfig {
@@ -59,6 +63,7 @@ impl Default for SolverConfig {
             refine_steps: 0,
             solve_strategy: SolveStrategy::Distributed3d,
             model: TimeModel::edison_like(),
+            tracing: false,
         }
     }
 }
@@ -105,6 +110,34 @@ impl Output3d {
     pub fn makespan(&self) -> f64 {
         self.summary().makespan
     }
+
+    /// Per-rank span/activity stores; `None` unless the run had
+    /// [`SolverConfig::tracing`] set.
+    pub fn rank_obs(&self) -> Option<Vec<simgrid::RankObs>> {
+        self.reports
+            .iter()
+            .map(|r| r.trace.clone())
+            .collect::<Option<Vec<_>>>()
+    }
+
+    /// Chrome trace-event document of a traced run (load in
+    /// <https://ui.perfetto.dev>). `None` when tracing was off.
+    pub fn chrome_trace(&self) -> Option<simgrid::Json> {
+        self.rank_obs().map(|obs| simgrid::obs::chrome_trace(&obs))
+    }
+
+    /// Critical path through the send→recv dependency graph of a traced
+    /// run. `None` when tracing was off.
+    pub fn critical_path(&self) -> Option<simgrid::CriticalPath> {
+        self.rank_obs()
+            .map(|obs| simgrid::CriticalPath::analyze(&obs))
+    }
+
+    /// Machine-wide metrics: every rank's registry merged (always
+    /// available — metrics do not require tracing).
+    pub fn metrics(&self) -> simgrid::MetricsRegistry {
+        simgrid::merged_metrics(&self.reports)
+    }
 }
 
 /// Factor only (no solve): the measurement entry point for every
@@ -122,7 +155,10 @@ pub fn factor_and_solve(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64
 fn run(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64>>) -> Output3d {
     assert!(cfg.pz.is_power_of_two(), "Pz must be a power of two");
     let grid3 = Grid3d::new(cfg.pr, cfg.pc, cfg.pz);
-    let machine = Machine::new(grid3.size(), cfg.model);
+    let mut machine = Machine::new(grid3.size(), cfg.model);
+    if cfg.tracing {
+        machine = machine.with_tracing();
+    }
     let forest = Arc::new(EtreeForest::build(&prep.tree, &prep.sym, cfg.pz));
     let pa = Arc::clone(&prep.pa);
     let sym = Arc::clone(&prep.sym);
@@ -174,7 +210,9 @@ fn run(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64>>) -> Output3d {
                     let world = rank.world();
                     let uindex = slu2d::solve2d::transpose_index(&sym);
                     let solve_once = |rank: &mut simgrid::Rank, rhs: &[f64]| {
-                        solve_3d(rank, &grid3, &comms, &store, &sym, &forest_cl, opts, &uindex, rhs)
+                        solve_3d(
+                            rank, &grid3, &comms, &store, &sym, &forest_cl, opts, &uindex, rhs,
+                        )
                     };
                     let xp = solve_once(rank, b);
                     // Every rank materializes the full solution so iterative
@@ -355,7 +393,11 @@ mod tests {
     fn pz2_nonplanar() {
         check(
             grid3d_7pt(5, 5, 5, 0.1, 6),
-            Geometry::Grid3d { nx: 5, ny: 5, nz: 5 },
+            Geometry::Grid3d {
+                nx: 5,
+                ny: 5,
+                nz: 5,
+            },
             2,
             1,
             2,
@@ -365,14 +407,7 @@ mod tests {
 
     #[test]
     fn pz4_kkt_multilevel_ordering() {
-        check(
-            kkt_3d(3, 3, 3, 1e-2, 7),
-            Geometry::General,
-            1,
-            2,
-            4,
-            1e-6,
-        );
+        check(kkt_3d(3, 3, 3, 1e-2, 7), Geometry::General, 1, 2, 4, 1e-6);
     }
 
     #[test]
@@ -414,7 +449,16 @@ mod tests {
     #[test]
     fn memory_grows_with_replication() {
         let a = grid3d_7pt(6, 6, 6, 0.1, 9);
-        let prep = Prepared::new(a, Geometry::Grid3d { nx: 6, ny: 6, nz: 6 }, 8, 8);
+        let prep = Prepared::new(
+            a,
+            Geometry::Grid3d {
+                nx: 6,
+                ny: 6,
+                nz: 6,
+            },
+            8,
+            8,
+        );
         let m1 = factor_only(
             &prep,
             &SolverConfig {
@@ -442,7 +486,10 @@ mod tests {
         // with Pz=4 each layer holds 1/4 of the subtrees plus ancestors, so
         // the per-rank max can go either way; what MUST grow is total:
         // max-per-rank x ranks. Compare totals instead.
-        assert!(4 * 2 * m4 > 2 * m1, "replication cannot shrink total memory");
+        assert!(
+            4 * 2 * m4 > 2 * m1,
+            "replication cannot shrink total memory"
+        );
     }
 
     #[test]

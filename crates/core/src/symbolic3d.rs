@@ -149,12 +149,7 @@ pub fn distributed_symbolic(
     // Gather completed structs to grid 0's lead rank.
     if lead {
         if my_z != 0 {
-            rank.send(
-                &comms.zline,
-                0,
-                T_SYM_GATHER,
-                encode_structs(&st.struct_of),
-            );
+            rank.send(&comms.zline, 0, T_SYM_GATHER, encode_structs(&st.struct_of));
             None
         } else {
             for src_z in 1..grid3.pz {
@@ -276,7 +271,11 @@ mod tests {
     fn matches_sequential_on_3d_grid_with_layers() {
         check_equivalence(
             grid3d_7pt(5, 5, 5, 0.1, 2),
-            Geometry::Grid3d { nx: 5, ny: 5, nz: 5 },
+            Geometry::Grid3d {
+                nx: 5,
+                ny: 5,
+                nz: 5,
+            },
             2,
             2,
             2,

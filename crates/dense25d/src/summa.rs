@@ -48,7 +48,11 @@ fn summa_panels(
         // Which process column owns A(:, k0..k0+kw)? Block-contiguous:
         // column c owns global cols [c*tc, (c+1)*tc).
         let a_owner_c = k0 / tc;
-        debug_assert_eq!((k0 + kw - 1) / tc, a_owner_c, "panel must not straddle tiles");
+        debug_assert_eq!(
+            (k0 + kw - 1) / tc,
+            a_owner_c,
+            "panel must not straddle tiles"
+        );
         let a_panel = {
             let data = if my_c == a_owner_c {
                 let off = k0 - a_owner_c * tc;
@@ -61,7 +65,11 @@ fn summa_panels(
         };
         // Which process row owns B(k0..k0+kw, :)?
         let b_owner_r = k0 / tr;
-        debug_assert_eq!((k0 + kw - 1) / tr, b_owner_r, "panel must not straddle tiles");
+        debug_assert_eq!(
+            (k0 + kw - 1) / tr,
+            b_owner_r,
+            "panel must not straddle tiles"
+        );
         let b_panel = {
             let data = if my_r == b_owner_r {
                 let off = k0 - b_owner_r * tr;
@@ -140,7 +148,16 @@ pub fn summa_25d(
     let mut c_tile = Mat::zeros(dist.tile_rows(), dist.tile_cols());
     let total_panels = dist.n / nb;
     let my_panels: Vec<usize> = (0..total_panels).filter(|kp| kp % cz == my_z).collect();
-    summa_panels(rank, comms, dist, &a_tile, &b_tile, &mut c_tile, nb, &my_panels);
+    summa_panels(
+        rank,
+        comms,
+        dist,
+        &a_tile,
+        &b_tile,
+        &mut c_tile,
+        nb,
+        &my_panels,
+    );
 
     // 3. Sum the partial C tiles onto layer 0.
     rank.set_phase("reduce");
@@ -177,7 +194,13 @@ mod tests {
         c
     }
 
-    fn run_25d(n: usize, pr: usize, pc: usize, cz: usize, nb: usize) -> (Mat, Vec<simgrid::RankReport>) {
+    fn run_25d(
+        n: usize,
+        pr: usize,
+        pc: usize,
+        cz: usize,
+        nb: usize,
+    ) -> (Mat, Vec<simgrid::RankReport>) {
         let grid3 = Grid3d::new(pr, pc, cz);
         let dist = DenseDist::new(n, pr, pc);
         let a = Arc::new(full(n, 1));
@@ -186,12 +209,15 @@ mod tests {
         let out = machine.run(move |rank| {
             let comms = build_grid_comms(rank, &grid3);
             let (my_r, my_c, my_z) = comms.coords;
-            let inputs = (my_z == 0).then(|| (dist.tile_of(&a, my_r, my_c), dist.tile_of(&b, my_r, my_c)));
+            let inputs =
+                (my_z == 0).then(|| (dist.tile_of(&a, my_r, my_c), dist.tile_of(&b, my_r, my_c)));
             let rep = summa_25d(rank, &comms, &dist, cz, inputs, nb);
             (my_r, my_c, my_z, rep.c_tile)
         });
         // Assemble layer 0's C.
-        let mut tiles: Vec<Vec<Mat>> = (0..pr).map(|_| (0..pc).map(|_| Mat::zeros(0, 0)).collect()).collect();
+        let mut tiles: Vec<Vec<Mat>> = (0..pr)
+            .map(|_| (0..pc).map(|_| Mat::zeros(0, 0)).collect())
+            .collect();
         for (r, c, z, t) in &out.results {
             if *z == 0 {
                 tiles[*r][*c] = t.clone();

@@ -141,7 +141,12 @@ mod tests {
 
     #[test]
     fn matches_naive() {
-        for &(m, n, k) in &[(1usize, 1usize, 1usize), (5, 7, 3), (16, 16, 16), (33, 9, 70)] {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),
+            (16, 16, 16),
+            (33, 9, 70),
+        ] {
             let a = mk(m, k, 1);
             let b = mk(k, n, 2);
             let mut c1 = mk(m, n, 3);
@@ -158,7 +163,12 @@ mod tests {
 
     #[test]
     fn gemm_nt_matches_explicit_transpose() {
-        for &(m, n, k) in &[(1usize, 1usize, 1usize), (5, 7, 3), (16, 16, 16), (9, 33, 20)] {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),
+            (16, 16, 16),
+            (9, 33, 20),
+        ] {
             let a = mk(m, k, 11);
             let b = mk(n, k, 12);
             let mut c1 = mk(m, n, 13);

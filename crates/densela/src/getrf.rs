@@ -152,7 +152,13 @@ mod tests {
     #[test]
     fn static_pivoting_perturbs_singular_diagonal() {
         // A matrix with an exactly zero pivot in position 0.
-        let mut a = Mat::from_fn(3, 3, |i, j| if i == 0 && j == 0 { 0.0 } else { (i + j + 1) as f64 });
+        let mut a = Mat::from_fn(3, 3, |i, j| {
+            if i == 0 && j == 0 {
+                0.0
+            } else {
+                (i + j + 1) as f64
+            }
+        });
         let info = getrf(&mut a, PivotPolicy::Static { threshold: 1e-8 });
         assert!(info.perturbations >= 1);
         assert!(a.at(0, 0) != 0.0);

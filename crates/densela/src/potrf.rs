@@ -30,7 +30,9 @@ pub fn potrf(a: &mut Mat) -> PotrfInfo {
             d -= l * l;
         }
         if d <= 0.0 {
-            return PotrfInfo { not_spd_at: Some(k) };
+            return PotrfInfo {
+                not_spd_at: Some(k),
+            };
         }
         let lkk = d.sqrt();
         *a.at_mut(k, k) = lkk;

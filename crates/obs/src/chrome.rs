@@ -1,0 +1,297 @@
+//! Chrome trace-event (Perfetto / `chrome://tracing`) exporter.
+//!
+//! One process, one thread track per rank. Spans and activities become
+//! `"X"` complete events (timestamps in microseconds of *simulated* time);
+//! each matched send→recv pair becomes an `"s"`/`"f"` flow-arrow pair bound
+//! by the message uid. Load the emitted file in <https://ui.perfetto.dev>.
+
+use crate::json::Json;
+use crate::span::{ActivityKind, RankObs};
+use std::collections::{BTreeMap, HashSet};
+
+const US: f64 = 1.0e6;
+
+/// Build the trace document for a finished run.
+pub fn chrome_trace(obs: &[RankObs]) -> Json {
+    let mut events = Vec::new();
+    // Which messages have a traced receive: only those get flow arrows, so
+    // a dangling "s" never appears (e.g. unconsumed eager sends).
+    let received: HashSet<u64> = obs
+        .iter()
+        .flat_map(|r| r.activities.iter())
+        .filter(|a| a.kind == ActivityKind::Recv)
+        .filter_map(|a| a.msg_uid)
+        .collect();
+
+    for r in obs {
+        events.push(Json::Obj(vec![
+            ("ph".into(), Json::str("M")),
+            ("name".into(), Json::str("thread_name")),
+            ("pid".into(), Json::num(0.0)),
+            ("tid".into(), Json::num(r.rank as f64)),
+            (
+                "args".into(),
+                Json::Obj(vec![("name".into(), Json::str(format!("rank {}", r.rank)))]),
+            ),
+        ]));
+        for s in &r.spans {
+            events.push(Json::Obj(vec![
+                ("ph".into(), Json::str("X")),
+                ("name".into(), Json::str(s.name.clone())),
+                ("cat".into(), Json::str(s.cat.as_str())),
+                ("ts".into(), Json::num(s.start * US)),
+                ("dur".into(), Json::num((s.end - s.start) * US)),
+                ("pid".into(), Json::num(0.0)),
+                ("tid".into(), Json::num(r.rank as f64)),
+                (
+                    "args".into(),
+                    Json::Obj(vec![("depth".into(), Json::num(s.depth as f64))]),
+                ),
+            ]));
+        }
+        for a in &r.activities {
+            let mut args = Vec::new();
+            if let Some(p) = a.peer {
+                args.push(("peer".into(), Json::num(p as f64)));
+            }
+            if a.words > 0 {
+                args.push(("words".into(), Json::num(a.words as f64)));
+            }
+            events.push(Json::Obj(vec![
+                ("ph".into(), Json::str("X")),
+                ("name".into(), Json::str(a.kind.as_str())),
+                ("cat".into(), Json::str("activity")),
+                ("ts".into(), Json::num(a.start * US)),
+                ("dur".into(), Json::num((a.end - a.start) * US)),
+                ("pid".into(), Json::num(0.0)),
+                ("tid".into(), Json::num(r.rank as f64)),
+                ("args".into(), Json::Obj(args)),
+            ]));
+            // Flow arrows: start at the middle of the send slice, finish at
+            // the middle of the recv slice ("e" binds to the enclosing X).
+            if let Some(uid) = a.msg_uid {
+                let (ph, extra): (&str, Option<(&str, Json)>) = match a.kind {
+                    ActivityKind::Send if received.contains(&uid) => ("s", None),
+                    ActivityKind::Recv => ("f", Some(("bp", Json::str("e")))),
+                    _ => continue,
+                };
+                let mut flow = vec![
+                    ("ph".into(), Json::str(ph)),
+                    ("id".into(), Json::num(uid as f64)),
+                    ("name".into(), Json::str("msg")),
+                    ("cat".into(), Json::str("dep")),
+                    ("ts".into(), Json::num((a.start + a.end) * 0.5 * US)),
+                    ("pid".into(), Json::num(0.0)),
+                    ("tid".into(), Json::num(r.rank as f64)),
+                ];
+                if let Some((k, v)) = extra {
+                    flow.push((k.into(), v));
+                }
+                events.push(Json::Obj(flow));
+            }
+        }
+    }
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(events)),
+        ("displayTimeUnit".into(), Json::str("ms")),
+    ])
+}
+
+/// Structural facts established by [`validate_chrome_trace`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChromeTraceStats {
+    /// Total events of any phase type.
+    pub events: usize,
+    /// Number of distinct thread tracks.
+    pub tracks: usize,
+    /// Maximum `"X"`-slice nesting depth over all tracks (1 = flat).
+    pub max_nesting: usize,
+    /// Matched send→recv flow pairs.
+    pub flow_pairs: usize,
+}
+
+/// Validate a parsed Chrome trace document: required fields on every
+/// event, strictly nested (never partially overlapping) `"X"` slices per
+/// track, and every flow-finish matched by a flow-start with the same id.
+pub fn validate_chrome_trace(doc: &Json) -> Result<ChromeTraceStats, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .ok_or("missing traceEvents array")?;
+    let mut stats = ChromeTraceStats {
+        events: events.len(),
+        ..Default::default()
+    };
+    // tid -> [(ts, dur)] for X events
+    let mut slices: BTreeMap<i64, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut flow_starts: HashSet<i64> = HashSet::new();
+    let mut flow_ends: Vec<i64> = Vec::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(|t| t.as_f64())
+            .ok_or_else(|| format!("event {i}: missing tid"))? as i64;
+        match ph {
+            "X" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(|t| t.as_f64())
+                    .ok_or_else(|| format!("event {i}: X without ts"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(|d| d.as_f64())
+                    .ok_or_else(|| format!("event {i}: X without dur"))?;
+                if ev.get("name").and_then(|n| n.as_str()).is_none() {
+                    return Err(format!("event {i}: X without name"));
+                }
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative duration"));
+                }
+                slices.entry(tid).or_default().push((ts, dur));
+            }
+            "s" => {
+                let id = ev
+                    .get("id")
+                    .and_then(|d| d.as_f64())
+                    .ok_or_else(|| format!("event {i}: flow without id"))?;
+                flow_starts.insert(id as i64);
+            }
+            "f" => {
+                let id = ev
+                    .get("id")
+                    .and_then(|d| d.as_f64())
+                    .ok_or_else(|| format!("event {i}: flow without id"))?;
+                flow_ends.push(id as i64);
+            }
+            "M" => {}
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+
+    stats.tracks = slices.len();
+    // Slice containment per track: sort by (ts asc, dur desc) and sweep a
+    // stack. A slice must either start after the top ends or end within it.
+    for (tid, track) in slices.iter_mut() {
+        track.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap()
+                .then(b.1.partial_cmp(&a.1).unwrap())
+        });
+        let mut stack: Vec<(f64, f64)> = Vec::new();
+        for &(ts, dur) in track.iter() {
+            let end = ts + dur;
+            // Tolerance comparable to f64 rounding at µs scale.
+            let eps = 1e-6 * (1.0 + end.abs());
+            while let Some(&(_, top_end)) = stack.last() {
+                if ts >= top_end - eps {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(_, top_end)) = stack.last() {
+                if end > top_end + eps {
+                    return Err(format!(
+                        "track {tid}: slice [{ts}, {end}) partially overlaps \
+                         enclosing slice ending at {top_end}"
+                    ));
+                }
+            }
+            stack.push((ts, end));
+            stats.max_nesting = stats.max_nesting.max(stack.len());
+        }
+    }
+
+    for id in &flow_ends {
+        if !flow_starts.contains(id) {
+            return Err(format!("flow finish id {id} has no matching start"));
+        }
+    }
+    stats.flow_pairs = flow_ends.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{ActivityKind, Recorder, SpanCat};
+
+    fn two_rank_obs() -> Vec<RankObs> {
+        let mut r0 = Recorder::new(0);
+        let lvl = r0.enter(SpanCat::Level, "level0", 0.0);
+        let ph = r0.enter(SpanCat::Phase, "fact", 0.0);
+        let node = r0.enter(SpanCat::Node, "sn0", 0.0);
+        r0.activity(ActivityKind::Compute, 0.0, 2.0, None, 0, None);
+        r0.activity(ActivityKind::Send, 2.0, 2.5, Some(1), 16, Some(7));
+        r0.exit(node, 2.5);
+        r0.exit(ph, 2.5);
+        r0.exit(lvl, 2.5);
+
+        let mut r1 = Recorder::new(1);
+        let ph1 = r1.enter(SpanCat::Phase, "fact", 0.0);
+        r1.activity(ActivityKind::Wait, 0.0, 2.5, Some(0), 0, None);
+        r1.activity(ActivityKind::Recv, 2.5, 3.0, Some(0), 16, Some(7));
+        r1.exit(ph1, 3.0);
+        vec![r0.finish(2.5), r1.finish(3.0)]
+    }
+
+    #[test]
+    fn export_validates_with_depth_and_flows() {
+        let doc = chrome_trace(&two_rank_obs());
+        let stats = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(stats.tracks, 2);
+        // level > phase > node > activity on rank 0.
+        assert!(stats.max_nesting >= 4, "nesting {}", stats.max_nesting);
+        assert_eq!(stats.flow_pairs, 1);
+    }
+
+    #[test]
+    fn export_roundtrips_through_text() {
+        let doc = chrome_trace(&two_rank_obs());
+        let text = doc.dump();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        validate_chrome_trace(&back).unwrap();
+    }
+
+    #[test]
+    fn unreceived_send_gets_no_flow_start() {
+        let mut r0 = Recorder::new(0);
+        r0.activity(ActivityKind::Send, 0.0, 1.0, Some(1), 8, Some(99));
+        let doc = chrome_trace(&[r0.finish(1.0)]);
+        let stats = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(stats.flow_pairs, 0);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events
+            .iter()
+            .all(|e| e.get("ph").unwrap().as_str() != Some("s")));
+    }
+
+    #[test]
+    fn validator_rejects_partial_overlap() {
+        let doc = Json::parse(
+            r#"{"traceEvents":[
+                {"ph":"X","name":"a","ts":0,"dur":10,"pid":0,"tid":0},
+                {"ph":"X","name":"b","ts":5,"dur":10,"pid":0,"tid":0}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(validate_chrome_trace(&doc).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_orphan_flow_finish() {
+        let doc = Json::parse(
+            r#"{"traceEvents":[
+                {"ph":"f","bp":"e","id":3,"ts":1,"pid":0,"tid":0}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(validate_chrome_trace(&doc).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Observability for the simulated 3D LU stack: hierarchical span tracing,
+//! a cross-crate metrics registry, Chrome trace export, and critical-path
+//! attribution.
+//!
+//! This crate is a leaf — it knows nothing about the simulator or the
+//! factorization. The `simgrid` machine owns a [`Recorder`] per rank and
+//! feeds it spans (opened by algorithm layers via `Rank` methods) and
+//! activities (charged by the machine itself); everything here consumes
+//! the resulting [`RankObs`] stores.
+//!
+//! # The pieces
+//!
+//! - [`span`]: nested spans (`level → phase → supernode → collective`) over
+//!   simulated time, plus the machine-level activity stream.
+//! - [`metrics`]: counters, max-gauges, and log2-bucket histograms,
+//!   mergeable across ranks and dumpable as JSON.
+//! - [`chrome`]: trace-event JSON for <https://ui.perfetto.dev>, with
+//!   send→recv flow arrows, and a structural validator.
+//! - [`critpath`]: backward walk over the send→recv dependency graph
+//!   yielding the makespan-determining chain and per-phase attribution
+//!   that sums to 100% of the makespan.
+//! - [`json`]: the dependency-free JSON value type the exporters use.
+//!
+//! # Example
+//!
+//! ```
+//! use obs::{Recorder, SpanCat, ActivityKind, CriticalPath, chrome_trace};
+//!
+//! let mut rec = Recorder::new(0);
+//! let phase = rec.enter(SpanCat::Phase, "fact", 0.0);
+//! rec.activity(ActivityKind::Compute, 0.0, 1.0, None, 0, None);
+//! rec.exit(phase, 1.0);
+//! let obs = rec.finish(1.0);
+//!
+//! let path = CriticalPath::analyze(std::slice::from_ref(&obs));
+//! assert!((path.attribution_fractions()["fact"] - 1.0).abs() < 1e-12);
+//! let doc = chrome_trace(&[obs]);
+//! assert!(doc.get("traceEvents").is_some());
+//! ```
+
+pub mod chrome;
+pub mod critpath;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use chrome::{chrome_trace, validate_chrome_trace, ChromeTraceStats};
+pub use critpath::{CritSegment, CriticalPath, SegKind};
+pub use json::Json;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use span::{Activity, ActivityKind, RankObs, Recorder, SpanCat, SpanId, SpanRecord};

@@ -106,7 +106,11 @@ mod tests {
 
     #[test]
     fn coords_match_generator_indexing() {
-        let c = Coords::from_geometry(&Geometry::Grid3d { nx: 3, ny: 4, nz: 2 });
+        let c = Coords::from_geometry(&Geometry::Grid3d {
+            nx: 3,
+            ny: 4,
+            nz: 2,
+        });
         assert_eq!(c.len(), 24);
         // idx3d(nx=3, ny=4, x=2, y=1, z=1) = (1*4+1)*3+2 = 17
         assert_eq!(c.xyz[17], [2, 1, 1]);
@@ -135,13 +139,14 @@ mod tests {
     fn plane_separator_disconnects_9pt_and_7pt() {
         // Reach-1 diagonal stencils must also be cut by a width-1 plane.
         for (a, geom) in [
-            (
-                grid2d_9pt(8, 8, 0.0, 0),
-                Geometry::Grid2d { nx: 8, ny: 8 },
-            ),
+            (grid2d_9pt(8, 8, 0.0, 0), Geometry::Grid2d { nx: 8, ny: 8 }),
             (
                 grid3d_7pt(5, 5, 5, 0.0, 0),
-                Geometry::Grid3d { nx: 5, ny: 5, nz: 5 },
+                Geometry::Grid3d {
+                    nx: 5,
+                    ny: 5,
+                    nz: 5,
+                },
             ),
         ] {
             let g = Graph::from_matrix(&a);

@@ -178,11 +178,7 @@ mod tests {
         let g = Graph::from_matrix(&grid2d_5pt(k, k, 0.0, 0));
         let bis = multilevel_bisection(&g, 7);
         assert!(bis.imbalance() < 1.25, "imbalance {}", bis.imbalance());
-        assert!(
-            bis.cut <= 2 * k as u64,
-            "cut {} vs optimal {k}",
-            bis.cut
-        );
+        assert!(bis.cut <= 2 * k as u64, "cut {} vs optimal {k}", bis.cut);
     }
 
     #[test]

@@ -50,12 +50,17 @@ struct NdState<'g> {
 impl<'g> NdState<'g> {
     /// Bisect `vertices`; returns `(c1, c2, sep)` or `None` if the subgraph
     /// should become a leaf (bisection failed to split it).
-    fn bisect(&mut self, vertices: &[usize], level: usize) -> Option<(Vec<usize>, Vec<usize>, Vec<usize>)> {
+    fn bisect(
+        &mut self,
+        vertices: &[usize],
+        level: usize,
+    ) -> Option<(Vec<usize>, Vec<usize>, Vec<usize>)> {
         let (c1, c2, sep) = if let Some(coords) = &self.coords {
             plane_bisect(coords, vertices)
         } else {
             let (sub, map) = self.g.subgraph(vertices);
-            let (assign, _) = multilevel_vertex_separator(&sub, self.opts.seed ^ (level as u64) << 8);
+            let (assign, _) =
+                multilevel_vertex_separator(&sub, self.opts.seed ^ (level as u64) << 8);
             let mut c1 = Vec::new();
             let mut c2 = Vec::new();
             let mut sep = Vec::new();

@@ -144,8 +144,7 @@ impl SepTree {
         }
         // A node becomes a merged leaf when its whole subtree fits and its
         // parent's doesn't (top-most such node).
-        let subtree_width =
-            |i: usize| -> usize { self.nodes[i].cols.end - span_start[i] };
+        let subtree_width = |i: usize| -> usize { self.nodes[i].cols.end - span_start[i] };
         let merged_root: Vec<bool> = (0..n_nodes)
             .map(|i| {
                 let parent_fits = self.nodes[i]
@@ -310,7 +309,11 @@ mod tests {
         let before = tree.nodes.len();
         let merged = tree.amalgamate(24);
         merged.validate().unwrap();
-        assert!(merged.nodes.len() < before, "{} !< {before}", merged.nodes.len());
+        assert!(
+            merged.nodes.len() < before,
+            "{} !< {before}",
+            merged.nodes.len()
+        );
         // Permutation unchanged; every merged leaf within the bound.
         assert_eq!(merged.perm, tree.perm);
         for node in &merged.nodes {

@@ -13,6 +13,7 @@
 use crate::comm::Comm;
 use crate::payload::Payload;
 use crate::rank::Rank;
+use obs::SpanCat;
 
 /// High-bit namespace for collective-internal tags.
 const COLL_TAG: u64 = 1 << 62;
@@ -23,6 +24,19 @@ impl Rank {
     /// rank returns the broadcast payload. Binomial tree: `p - 1` messages
     /// total, `ceil(log2 p)` on the critical path.
     pub fn bcast(&mut self, comm: &Comm, root: usize, data: Option<Payload>, tag: u64) -> Payload {
+        let sp = self.span_enter(SpanCat::Coll, "bcast");
+        let out = self.bcast_inner(comm, root, data, tag);
+        self.span_exit(sp);
+        out
+    }
+
+    fn bcast_inner(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Option<Payload>,
+        tag: u64,
+    ) -> Payload {
         let p = comm.size();
         assert!(root < p, "bcast root out of range");
         let tag = COLL_TAG | tag;
@@ -71,6 +85,19 @@ impl Rank {
         data: Vec<f64>,
         tag: u64,
     ) -> Option<Vec<f64>> {
+        let sp = self.span_enter(SpanCat::Coll, "reduce");
+        let out = self.reduce_sum_inner(comm, root, data, tag);
+        self.span_exit(sp);
+        out
+    }
+
+    fn reduce_sum_inner(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Vec<f64>,
+        tag: u64,
+    ) -> Option<Vec<f64>> {
         let p = comm.size();
         assert!(root < p, "reduce root out of range");
         let tag = COLL_TAG | tag;
@@ -101,14 +128,25 @@ impl Rank {
 
     /// Allreduce (sum): reduce to local rank 0, then broadcast.
     pub fn allreduce_sum(&mut self, comm: &Comm, data: Vec<f64>, tag: u64) -> Vec<f64> {
-        let reduced = self.reduce_sum(comm, 0, data, tag);
-        self.bcast(comm, 0, reduced.map(Payload::F64s), tag ^ 0x5555)
-            .into_f64s()
+        let sp = self.span_enter(SpanCat::Coll, "allreduce");
+        let reduced = self.reduce_sum_inner(comm, 0, data, tag);
+        let out = self
+            .bcast_inner(comm, 0, reduced.map(Payload::F64s), tag ^ 0x5555)
+            .into_f64s();
+        self.span_exit(sp);
+        out
     }
 
     /// Maximum-allreduce of a single value (used for load statistics and
     /// convergence checks).
     pub fn allreduce_max(&mut self, comm: &Comm, value: f64, tag: u64) -> f64 {
+        let sp = self.span_enter(SpanCat::Coll, "allreduce_max");
+        let out = self.allreduce_max_inner(comm, value, tag);
+        self.span_exit(sp);
+        out
+    }
+
+    fn allreduce_max_inner(&mut self, comm: &Comm, value: f64, tag: u64) -> f64 {
         let p = comm.size();
         let rtag = COLL_TAG | tag | (1 << 61);
         let relative = comm.local_rank();
@@ -130,8 +168,12 @@ impl Rank {
             }
             mask <<= 1;
         }
-        let out = if is_root { Some(Payload::F64s(vec![acc])) } else { None };
-        self.bcast(comm, 0, out, tag ^ 0x3333).into_f64s()[0]
+        let out = if is_root {
+            Some(Payload::F64s(vec![acc]))
+        } else {
+            None
+        };
+        self.bcast_inner(comm, 0, out, tag ^ 0x3333).into_f64s()[0]
     }
 
     /// Dissemination barrier: `ceil(log2 p)` rounds of paired empty
@@ -143,6 +185,13 @@ impl Rank {
         if p <= 1 {
             return;
         }
+        let sp = self.span_enter(SpanCat::Coll, "barrier");
+        self.barrier_inner(comm, tag);
+        self.span_exit(sp);
+    }
+
+    fn barrier_inner(&mut self, comm: &Comm, tag: u64) {
+        let p = comm.size();
         let tag = COLL_TAG | tag | (1 << 60);
         let me = comm.local_rank();
         let mut round = 0u64;
@@ -162,6 +211,19 @@ impl Rank {
     /// to the root); used for result collection, never inside the
     /// factorization inner loops.
     pub fn gather_f64(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Vec<f64>,
+        tag: u64,
+    ) -> Option<Vec<Vec<f64>>> {
+        let sp = self.span_enter(SpanCat::Coll, "gather");
+        let out = self.gather_f64_inner(comm, root, data, tag);
+        self.span_exit(sp);
+        out
+    }
+
+    fn gather_f64_inner(
         &mut self,
         comm: &Comm,
         root: usize,

@@ -58,7 +58,11 @@ pub use comm::Comm;
 pub use machine::{Machine, RunResult};
 pub use payload::Payload;
 pub use rank::Rank;
-pub use stats::{PhaseCounter, RankReport, TrafficSummary};
+pub use stats::{merged_metrics, PhaseCounter, RankReport, TrafficSummary};
 pub use timemodel::TimeModel;
-pub use trace::{render_gantt, EventKind, TraceEvent};
 pub use topology::{Grid2d, Grid3d};
+pub use trace::{render_gantt, validate_trace};
+// Observability substrate: spans, activities, metrics, Chrome export,
+// critical-path analysis (see the `obs` crate).
+pub use obs;
+pub use obs::{ActivityKind, CriticalPath, Json, MetricsRegistry, RankObs, SpanCat, SpanId};

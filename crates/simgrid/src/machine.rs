@@ -2,9 +2,10 @@
 //! closure, and collects results plus per-rank reports.
 
 use crate::rank::{Msg, Rank};
-use crate::stats::{RankReport, TrafficSummary};
+use crate::stats::{merged_metrics, RankReport, TrafficSummary};
 use crate::timemodel::TimeModel;
 use crossbeam::channel::{unbounded, Sender};
+use obs::{CriticalPath, Json, MetricsRegistry, RankObs};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -31,6 +32,33 @@ impl<T> RunResult<T> {
     /// Aggregate the per-rank reports.
     pub fn summary(&self) -> TrafficSummary {
         TrafficSummary::from_reports(&self.reports)
+    }
+
+    /// Per-rank span/activity stores, `None` unless the machine ran with
+    /// [`Machine::with_tracing`].
+    pub fn rank_obs(&self) -> Option<Vec<RankObs>> {
+        self.reports
+            .iter()
+            .map(|r| r.trace.clone())
+            .collect::<Option<Vec<_>>>()
+    }
+
+    /// Chrome trace-event document of a traced run (load in
+    /// <https://ui.perfetto.dev>). `None` when tracing was off.
+    pub fn chrome_trace(&self) -> Option<Json> {
+        self.rank_obs().map(|obs| obs::chrome_trace(&obs))
+    }
+
+    /// Critical path through the send→recv dependency graph of a traced
+    /// run. `None` when tracing was off.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        self.rank_obs().map(|obs| CriticalPath::analyze(&obs))
+    }
+
+    /// Machine-wide metrics: every rank's registry merged (always
+    /// available — metrics do not require tracing).
+    pub fn metrics(&self) -> MetricsRegistry {
+        merged_metrics(&self.reports)
     }
 }
 
@@ -246,8 +274,16 @@ mod tests {
             // Split into even/odd pairs; same tags on both communicators.
             let evens = [0usize, 2];
             let odds = [1usize, 3];
-            let mine = if rank.id() % 2 == 0 { &evens[..] } else { &odds[..] };
-            let other = if rank.id() % 2 == 0 { &odds[..] } else { &evens[..] };
+            let mine = if rank.id() % 2 == 0 {
+                &evens[..]
+            } else {
+                &odds[..]
+            };
+            let other = if rank.id() % 2 == 0 {
+                &odds[..]
+            } else {
+                &evens[..]
+            };
             // SPMD discipline: create in the same order everywhere.
             let (c_even, c_odd) = if rank.id() % 2 == 0 {
                 let a = rank.subset(mine);

@@ -1,12 +1,12 @@
-//! The per-rank execution context: point-to-point messaging, clocks, and
-//! counters.
+//! The per-rank execution context: point-to-point messaging, clocks,
+//! counters, spans, and metrics.
 
 use crate::comm::Comm;
 use crate::payload::Payload;
 use crate::stats::{PhaseCounter, RankReport};
 use crate::timemodel::TimeModel;
-use crate::trace::{EventKind, TraceEvent};
 use crossbeam::channel::{Receiver, Sender};
+use obs::{ActivityKind, MetricsRegistry, Recorder, SpanCat, SpanId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
@@ -34,6 +34,9 @@ pub(crate) struct Msg {
     pub tag: u64,
     /// Simulated time at which this message is available to the receiver.
     pub arrival: f64,
+    /// Machine-unique id linking this message's send and recv trace
+    /// activities (high bits: sender world rank; low bits: send sequence).
+    pub uid: u64,
     pub payload: Payload,
 }
 
@@ -58,7 +61,15 @@ pub struct Rank {
     t_comp: f64,
     flops: u64,
     peak_mem: u64,
-    trace: Option<Vec<TraceEvent>>,
+    /// Per-send sequence number feeding message uids.
+    msg_seq: u64,
+    /// Span/activity recorder, present when the machine traces.
+    rec: Option<Recorder>,
+    /// The `Phase` span opened by [`Rank::set_phase`], rotated on change.
+    phase_span: Option<SpanId>,
+    /// Always-on counters/gauges/histograms; merged across ranks after the
+    /// run.
+    metrics: MetricsRegistry,
 }
 
 impl Rank {
@@ -85,24 +96,30 @@ impl Rank {
             t_comp: 0.0,
             flops: 0,
             peak_mem: 0,
-            trace: if tracing { Some(Vec::new()) } else { None },
+            msg_seq: 0,
+            rec: if tracing {
+                Some(Recorder::new(world_rank))
+            } else {
+                None
+            },
+            phase_span: None,
+            metrics: MetricsRegistry::default(),
         }
     }
 
-    /// Append a traced interval, merging contiguous events of the same kind.
+    /// Record one machine-level activity interval, if tracing.
     #[inline]
-    fn record(&mut self, start: f64, end: f64, kind: EventKind) {
-        if let Some(trace) = &mut self.trace {
-            if end <= start {
-                return;
-            }
-            if let Some(last) = trace.last_mut() {
-                if last.kind == kind && (start - last.end).abs() < 1e-15 {
-                    last.end = end;
-                    return;
-                }
-            }
-            trace.push(TraceEvent { start, end, kind });
+    fn record(
+        &mut self,
+        kind: ActivityKind,
+        start: f64,
+        end: f64,
+        peer: Option<usize>,
+        words: u64,
+        msg_uid: Option<u64>,
+    ) {
+        if let Some(rec) = &mut self.rec {
+            rec.activity(kind, start, end, peer, words, msg_uid);
         }
     }
 
@@ -152,10 +169,73 @@ impl Rank {
     /// receives are counted under this label until it changes. The LU stack
     /// uses `"fact"` for xy-plane factorization traffic and `"reduce"` for
     /// z-axis ancestor-reduction traffic (paper Fig. 10).
+    ///
+    /// When tracing, this also rotates a `Phase` span under whatever span
+    /// is currently open (e.g. the level span), so phases show up in the
+    /// trace hierarchy and critical-path attribution without extra calls.
     pub fn set_phase(&mut self, phase: &str) {
-        if self.phase != phase {
+        let changed = self.phase != phase;
+        if changed {
             self.phase = phase.to_string();
         }
+        let Some(rec) = &mut self.rec else {
+            return;
+        };
+        // Reopen even when the label is unchanged if the previous phase
+        // span was closed by an enclosing span's exit (next level loop).
+        let stale = self.phase_span.is_none_or(|ps| !rec.is_open(ps));
+        if !changed && !stale {
+            return;
+        }
+        let t = self.clock;
+        if let Some(ps) = self.phase_span.take() {
+            if rec.is_open(ps) {
+                rec.exit(ps, t);
+            }
+        }
+        let name = self.phase.clone();
+        self.phase_span = Some(rec.enter(SpanCat::Phase, &name, t));
+    }
+
+    /// Open a labeled span at the current simulated time. Returns a handle
+    /// for [`Rank::span_exit`]; `None` when the machine is not tracing
+    /// (pass it to `span_exit` regardless — the pair is a no-op then).
+    pub fn span_enter(&mut self, cat: SpanCat, name: &str) -> Option<SpanId> {
+        let t = self.clock;
+        self.rec.as_mut().map(|rec| rec.enter(cat, name, t))
+    }
+
+    /// Close a span opened by [`Rank::span_enter`]. Inner spans still open
+    /// are closed with it.
+    pub fn span_exit(&mut self, id: Option<SpanId>) {
+        let t = self.clock;
+        if let (Some(rec), Some(id)) = (self.rec.as_mut(), id) {
+            rec.exit(id, t);
+        }
+    }
+
+    /// Run `f` inside a span: sugar for `span_enter` / `span_exit` that
+    /// cannot leak an open span on early return of a value.
+    pub fn with_span<T>(&mut self, cat: SpanCat, name: &str, f: impl FnOnce(&mut Rank) -> T) -> T {
+        let id = self.span_enter(cat, name);
+        let out = f(self);
+        self.span_exit(id);
+        out
+    }
+
+    /// Bump a named metrics counter by `by`.
+    pub fn metric_inc(&mut self, name: &str, by: u64) {
+        self.metrics.inc(name, by);
+    }
+
+    /// Record a histogram sample under `name` (log2 buckets).
+    pub fn metric_observe(&mut self, name: &str, v: f64) {
+        self.metrics.observe(name, v);
+    }
+
+    /// Keep the maximum of `v` under gauge `name`.
+    pub fn metric_gauge_max(&mut self, name: &str, v: f64) {
+        self.metrics.gauge_max(name, v);
     }
 
     fn counter(&mut self) -> &mut PhaseCounter {
@@ -171,7 +251,19 @@ impl Rank {
         let t0 = self.clock;
         self.clock += cost;
         self.t_comm += cost;
-        self.record(t0, self.clock, EventKind::Send);
+        let uid = ((self.world_rank as u64) << 40) | self.msg_seq;
+        self.msg_seq += 1;
+        let dst_world = comm.world_rank_of(dst);
+        self.record(
+            ActivityKind::Send,
+            t0,
+            self.clock,
+            Some(dst_world),
+            words,
+            Some(uid),
+        );
+        self.metrics.inc("msg.sent", 1);
+        self.metrics.observe("msg.send_words", words as f64);
         {
             let c = self.counter();
             c.sent_msgs += 1;
@@ -182,9 +274,9 @@ impl Rank {
             ctx: comm.ctx,
             tag,
             arrival: self.clock,
+            uid,
             payload,
         };
-        let dst_world = comm.world_rank_of(dst);
         self.senders[dst_world]
             .send(msg)
             .expect("simulated machine shut down while sending");
@@ -205,15 +297,12 @@ impl Rank {
                     break m;
                 }
             }
-            let m = self
-                .inbox
-                .recv_timeout(recv_timeout())
-                .unwrap_or_else(|_| {
-                    panic!(
-                        "rank {}: recv timeout waiting for (ctx={}, src={}, tag={})",
-                        self.world_rank, comm.ctx, src_world, tag
-                    )
-                });
+            let m = self.inbox.recv_timeout(recv_timeout()).unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: recv timeout waiting for (ctx={}, src={}, tag={})",
+                    self.world_rank, comm.ctx, src_world, tag
+                )
+            });
             let mkey = (m.ctx, m.src_world, m.tag);
             if mkey == key {
                 break m;
@@ -227,8 +316,25 @@ impl Rank {
         let ready = msg.arrival.max(self.clock);
         let done = ready + self.model.xfer(words);
         self.t_comm += done - self.clock;
-        self.record(self.clock, ready, EventKind::Wait);
-        self.record(ready, done, EventKind::Recv);
+        if ready > self.clock {
+            self.metrics.observe("recv.wait_secs", ready - self.clock);
+        }
+        self.record(
+            ActivityKind::Wait,
+            self.clock,
+            ready,
+            Some(src_world),
+            0,
+            None,
+        );
+        self.record(
+            ActivityKind::Recv,
+            ready,
+            done,
+            Some(src_world),
+            words,
+            Some(msg.uid),
+        );
         self.clock = done;
         {
             let c = self.counter();
@@ -245,13 +351,14 @@ impl Rank {
         self.clock += cost;
         self.t_comp += cost;
         self.flops += flops;
-        self.record(t0, self.clock, EventKind::Compute);
+        self.record(ActivityKind::Compute, t0, self.clock, None, 0, None);
     }
 
     /// Record a memory gauge (bytes currently allocated by the caller);
     /// keeps the peak for the final report.
     pub fn record_memory(&mut self, bytes: u64) {
         self.peak_mem = self.peak_mem.max(bytes);
+        self.metrics.gauge_max("mem.peak_bytes", bytes as f64);
     }
 
     /// Current simulated clock in seconds.
@@ -260,17 +367,19 @@ impl Rank {
     }
 
     /// Snapshot the final report (called by the machine after the SPMD
-    /// closure returns).
+    /// closure returns). Closes any spans left open.
     pub(crate) fn into_report(self, wall_secs: f64) -> RankReport {
+        let clock = self.clock;
         RankReport {
             traffic: self.traffic.into_iter().collect(),
-            clock: self.clock,
+            clock,
             t_comm: self.t_comm,
             t_comp: self.t_comp,
             flops: self.flops,
             peak_mem_bytes: self.peak_mem,
             wall_secs,
-            trace: self.trace,
+            metrics: self.metrics,
+            trace: self.rec.map(|rec| rec.finish(clock)),
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Per-rank traffic and time accounting.
 
-use crate::trace::TraceEvent;
+use obs::{MetricsRegistry, RankObs};
 use std::collections::BTreeMap;
 
 /// Message/word counters for one traffic phase on one rank.
@@ -42,8 +42,10 @@ pub struct RankReport {
     pub peak_mem_bytes: u64,
     /// Wall-clock seconds this rank's thread actually ran.
     pub wall_secs: f64,
-    /// Simulated-time event trace, when tracing was enabled on the machine.
-    pub trace: Option<Vec<TraceEvent>>,
+    /// Counters, gauges, and histograms this rank recorded (always on).
+    pub metrics: MetricsRegistry,
+    /// Span/activity store, when tracing was enabled on the machine.
+    pub trace: Option<RankObs>,
 }
 
 impl RankReport {
@@ -55,6 +57,11 @@ impl RankReport {
     /// Total messages sent across all phases.
     pub fn total_sent_msgs(&self) -> u64 {
         self.traffic.values().map(|c| c.sent_msgs).sum()
+    }
+
+    /// Total words received across all phases.
+    pub fn total_recv_words(&self) -> u64 {
+        self.traffic.values().map(|c| c.recv_words).sum()
     }
 
     /// Words sent in one phase (0 if the phase never ran).
@@ -71,6 +78,12 @@ pub struct TrafficSummary {
     pub max_sent_words: u64,
     /// Sum of sent words over all ranks.
     pub total_sent_words: u64,
+    /// Maximum per-rank received words: the ingest-side counterpart of
+    /// `max_sent_words`, which bounds a rank's unpack/apply work.
+    pub max_recv_words: u64,
+    /// Sum of received words over all ranks. Equals `total_sent_words`
+    /// when every message was consumed — a cheap delivery invariant.
+    pub total_recv_words: u64,
     /// Maximum per-rank message count.
     pub max_sent_msgs: u64,
     /// Maximum simulated clock over ranks: the run's critical-path time.
@@ -92,6 +105,8 @@ impl TrafficSummary {
         for r in reports {
             s.max_sent_words = s.max_sent_words.max(r.total_sent_words());
             s.total_sent_words += r.total_sent_words();
+            s.max_recv_words = s.max_recv_words.max(r.total_recv_words());
+            s.total_recv_words += r.total_recv_words();
             s.max_sent_msgs = s.max_sent_msgs.max(r.total_sent_msgs());
             s.makespan = s.makespan.max(r.clock);
             s.max_t_comp = s.max_t_comp.max(r.t_comp);
@@ -104,8 +119,22 @@ impl TrafficSummary {
 
     /// Max per-rank words sent in one named phase.
     pub fn max_sent_words_in(reports: &[RankReport], phase: &str) -> u64 {
-        reports.iter().map(|r| r.sent_words_in(phase)).max().unwrap_or(0)
+        reports
+            .iter()
+            .map(|r| r.sent_words_in(phase))
+            .max()
+            .unwrap_or(0)
     }
+}
+
+/// Merge every rank's metrics registry into one machine-wide view
+/// (counters sum, gauges take the max, histograms merge).
+pub fn merged_metrics(reports: &[RankReport]) -> MetricsRegistry {
+    let mut all = MetricsRegistry::default();
+    for r in reports {
+        all.merge(&r.metrics);
+    }
+    all
 }
 
 #[cfg(test)]
@@ -135,6 +164,7 @@ mod tests {
         );
         assert_eq!(r.total_sent_words(), 110);
         assert_eq!(r.total_sent_msgs(), 3);
+        assert_eq!(r.total_recv_words(), 50);
         assert_eq!(r.sent_words_in("fact"), 100);
         assert_eq!(r.sent_words_in("nope"), 0);
     }
@@ -165,5 +195,50 @@ mod tests {
         assert_eq!(s.max_sent_words, 9);
         assert_eq!(s.total_sent_words, 14);
         assert_eq!(s.makespan, 2.0);
+    }
+
+    #[test]
+    fn summary_aggregates_recv_words() {
+        let mut r1 = RankReport::default();
+        r1.traffic.insert(
+            "fact".into(),
+            PhaseCounter {
+                recv_msgs: 2,
+                recv_words: 30,
+                ..Default::default()
+            },
+        );
+        r1.traffic.insert(
+            "reduce".into(),
+            PhaseCounter {
+                recv_msgs: 1,
+                recv_words: 12,
+                ..Default::default()
+            },
+        );
+        let mut r2 = RankReport::default();
+        r2.traffic.insert(
+            "fact".into(),
+            PhaseCounter {
+                recv_msgs: 1,
+                recv_words: 25,
+                ..Default::default()
+            },
+        );
+        let s = TrafficSummary::from_reports(&[r1, r2]);
+        assert_eq!(s.max_recv_words, 42, "r1 receives 30 + 12");
+        assert_eq!(s.total_recv_words, 67);
+    }
+
+    #[test]
+    fn metrics_merge_across_ranks() {
+        let mut r1 = RankReport::default();
+        r1.metrics.inc("msg.sent", 3);
+        let mut r2 = RankReport::default();
+        r2.metrics.inc("msg.sent", 4);
+        r2.metrics.observe("x", 2.0);
+        let all = merged_metrics(&[r1, r2]);
+        assert_eq!(all.counter("msg.sent"), 7);
+        assert_eq!(all.histogram("x").unwrap().count, 1);
     }
 }

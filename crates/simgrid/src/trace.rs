@@ -1,45 +1,25 @@
-//! Per-rank event tracing and a text Gantt renderer.
+//! Trace rendering and validation over the span/activity store.
 //!
 //! When tracing is enabled on the machine ([`crate::Machine::with_tracing`]),
-//! every rank records its simulated-time intervals — compute, send, receive,
-//! and blocking wait — and the renderer turns a finished run into a terminal
-//! timeline. This is the tool used to *see* the paper's effects: the 2D
-//! baseline shows long wait stripes on most ranks while the 3D run shows the
-//! per-grid parallel phase followed by the short reduction exchanges.
+//! every rank records hierarchical spans (level → phase → supernode →
+//! collective) and machine-level activities — compute, send, receive,
+//! blocking wait — in simulated time (see [`obs::span`]). This module turns
+//! a finished run into a terminal timeline and checks store invariants.
+//! The Chrome/Perfetto exporter lives in [`obs::chrome`]; critical-path
+//! attribution in [`obs::critpath`].
+//!
+//! The Gantt view is the tool used to *see* the paper's effects: the 2D
+//! baseline shows long wait stripes on most ranks while the 3D run shows
+//! the per-grid parallel phase followed by the short reduction exchanges.
 
 use crate::stats::RankReport;
-
-/// What a rank was doing during one traced interval.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum EventKind {
-    /// Local floating-point work.
-    Compute,
-    /// Transfer charge for an outgoing message.
-    Send,
-    /// Transfer charge for an incoming message.
-    Recv,
-    /// Blocked waiting for a message that had not yet arrived.
-    Wait,
-}
-
-/// One traced interval of simulated time.
-#[derive(Clone, Copy, Debug)]
-pub struct TraceEvent {
-    pub start: f64,
-    pub end: f64,
-    pub kind: EventKind,
-}
-
-impl TraceEvent {
-    /// Interval length in simulated seconds.
-    pub fn duration(&self) -> f64 {
-        self.end - self.start
-    }
-}
+use obs::ActivityKind;
 
 /// Render a run's traces as a text Gantt chart: one row per rank, `width`
 /// characters across the makespan. Glyphs: `#` compute, `>` send, `<`
 /// receive, `.` wait, space idle (not yet started / finished early).
+/// The footer is a `0 … makespan` axis aligned under the bars plus a
+/// legend line.
 ///
 /// Ranks without traces (tracing disabled) render as empty rows.
 pub fn render_gantt(reports: &[RankReport], width: usize) -> String {
@@ -58,16 +38,16 @@ pub fn render_gantt(reports: &[RankReport], width: usize) -> String {
                 let t0 = c as f64 * dt;
                 let t1 = t0 + dt;
                 let mut shares = [0.0f64; 4]; // Compute, Send, Recv, Wait
-                for ev in trace {
-                    if ev.end <= t0 || ev.start >= t1 {
+                for a in &trace.activities {
+                    if a.end <= t0 || a.start >= t1 {
                         continue;
                     }
-                    let overlap = ev.end.min(t1) - ev.start.max(t0);
-                    let idx = match ev.kind {
-                        EventKind::Compute => 0,
-                        EventKind::Send => 1,
-                        EventKind::Recv => 2,
-                        EventKind::Wait => 3,
+                    let overlap = a.end.min(t1) - a.start.max(t0);
+                    let idx = match a.kind {
+                        ActivityKind::Compute => 0,
+                        ActivityKind::Send => 1,
+                        ActivityKind::Recv => 2,
+                        ActivityKind::Wait => 3,
                     };
                     shares[idx] += overlap;
                 }
@@ -77,7 +57,13 @@ pub fn render_gantt(reports: &[RankReport], width: usize) -> String {
                     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                     .unwrap();
                 if *share > 0.0 {
-                    *slot = ['#', '>', '<', '.'][best];
+                    *slot = [
+                        ActivityKind::Compute,
+                        ActivityKind::Send,
+                        ActivityKind::Recv,
+                        ActivityKind::Wait,
+                    ][best]
+                        .glyph();
                 }
             }
         }
@@ -91,17 +77,27 @@ pub fn render_gantt(reports: &[RankReport], width: usize) -> String {
             row.iter().collect::<String>()
         ));
     }
+    // Axis aligned with the bar columns: '0' under the first column, the
+    // makespan label ending under the last.
+    let label = format!("{makespan:.6}s");
     out.push_str(&format!(
-        "      0 {:>width$.6}s   (#=compute  >=send  <=recv  .=wait)\n",
-        makespan,
-        width = width.saturating_sub(2)
+        "      0{label:>width$}\n",
+        width = width.saturating_sub(1)
     ));
+    out.push_str("      (#=compute  >=send  <=recv  .=wait)\n");
     out
 }
 
-/// Validate the internal consistency of a trace: events ordered, non-
-/// overlapping, and summing (by kind) to the report's `t_comp`/`t_comm`.
-/// Test/diagnostic helper.
+/// Validate the internal consistency of one rank's trace:
+///
+/// - activities are chronological, non-overlapping, and sum (by kind) to
+///   the report's `t_comp` / `t_comm`;
+/// - spans are well-formed: nonnegative length, inside `[0, clock]`,
+///   contained in their parent's interval, with consistent depth;
+/// - every activity's span reference points at a recorded span whose
+///   interval covers the activity.
+///
+/// Test/diagnostic helper; `Ok` for untraced reports.
 pub fn validate_trace(rep: &RankReport) -> Result<(), String> {
     let Some(trace) = &rep.trace else {
         return Ok(());
@@ -109,17 +105,28 @@ pub fn validate_trace(rep: &RankReport) -> Result<(), String> {
     let mut cursor = 0.0f64;
     let mut comp = 0.0;
     let mut comm = 0.0;
-    for (i, ev) in trace.iter().enumerate() {
-        if ev.start < cursor - 1e-12 {
-            return Err(format!("event {i} overlaps predecessor"));
+    for (i, a) in trace.activities.iter().enumerate() {
+        if a.start < cursor - 1e-12 {
+            return Err(format!("activity {i} overlaps predecessor"));
         }
-        if ev.end < ev.start {
-            return Err(format!("event {i} has negative duration"));
+        if a.end < a.start {
+            return Err(format!("activity {i} has negative duration"));
         }
-        cursor = ev.end;
-        match ev.kind {
-            EventKind::Compute => comp += ev.duration(),
-            _ => comm += ev.duration(),
+        cursor = a.end;
+        match a.kind {
+            ActivityKind::Compute => comp += a.duration(),
+            _ => comm += a.duration(),
+        }
+        if let Some(sid) = a.span {
+            let Some(s) = trace.spans.get(sid) else {
+                return Err(format!("activity {i} references unknown span {sid}"));
+            };
+            if a.start < s.start - 1e-12 || a.end > s.end + 1e-12 {
+                return Err(format!(
+                    "activity {i} [{}, {}] outside its span '{}' [{}, {}]",
+                    a.start, a.end, s.name, s.start, s.end
+                ));
+            }
         }
     }
     if (comp - rep.t_comp).abs() > 1e-9 * (1.0 + rep.t_comp) {
@@ -127,6 +134,44 @@ pub fn validate_trace(rep: &RankReport) -> Result<(), String> {
     }
     if (comm - rep.t_comm).abs() > 1e-9 * (1.0 + rep.t_comm) {
         return Err(format!("comm time mismatch: {comm} vs {}", rep.t_comm));
+    }
+    for (i, s) in trace.spans.iter().enumerate() {
+        if s.id != i {
+            return Err(format!("span {i} has id {}", s.id));
+        }
+        if s.end < s.start {
+            return Err(format!("span {i} '{}' has negative length", s.name));
+        }
+        if s.start < -1e-12 || s.end > rep.clock + 1e-12 {
+            return Err(format!("span {i} '{}' outside [0, clock]", s.name));
+        }
+        match s.parent {
+            None => {
+                if s.depth != 0 {
+                    return Err(format!("root span {i} has depth {}", s.depth));
+                }
+            }
+            Some(p) => {
+                let Some(parent) = trace.spans.get(p) else {
+                    return Err(format!("span {i} has unknown parent {p}"));
+                };
+                if p >= i {
+                    return Err(format!("span {i} parent {p} not created before it"));
+                }
+                if s.depth != parent.depth + 1 {
+                    return Err(format!(
+                        "span {i} depth {} but parent depth {}",
+                        s.depth, parent.depth
+                    ));
+                }
+                if s.start < parent.start - 1e-12 || s.end > parent.end + 1e-12 {
+                    return Err(format!(
+                        "span {i} '{}' [{}, {}] escapes parent '{}' [{}, {}]",
+                        s.name, s.start, s.end, parent.name, parent.start, parent.end
+                    ));
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -137,6 +182,7 @@ mod tests {
     use crate::machine::Machine;
     use crate::payload::Payload;
     use crate::timemodel::TimeModel;
+    use obs::SpanCat;
 
     #[test]
     fn traces_cover_the_clock_and_render() {
@@ -158,13 +204,40 @@ mod tests {
         });
         for rep in &out.reports {
             validate_trace(rep).unwrap();
-            assert!(rep.trace.as_ref().unwrap().len() >= 2);
+            assert!(rep.trace.as_ref().unwrap().activities.len() >= 2);
         }
         let g = render_gantt(&out.reports, 40);
         assert!(g.contains('#'), "gantt must show compute:\n{g}");
         assert!(g.lines().count() >= 3);
         // Rank 1 waits for rank 0's long compute: a wait stripe must show.
         assert!(g.contains('.'), "gantt must show waiting:\n{g}");
+    }
+
+    #[test]
+    fn gantt_footer_axis_aligns_with_bars() {
+        let m = Machine::new(
+            1,
+            TimeModel {
+                alpha: 0.0,
+                beta: 0.0,
+                flops_per_sec: 1.0,
+            },
+        )
+        .with_tracing();
+        let out = m.run(|rank| rank.advance_compute(5));
+        let width = 40;
+        let g = render_gantt(&out.reports, width);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3, "rank row + axis + legend:\n{g}");
+        let bar = lines[0];
+        let axis = lines[1];
+        // '0' sits under the first bar column; the axis line ends exactly
+        // under the closing '|'.
+        let first_col = bar.find('|').unwrap() + 1;
+        assert_eq!(axis.as_bytes()[first_col], b'0', "axis:\n{g}");
+        assert_eq!(axis.len(), first_col + width, "axis:\n{g}");
+        assert!(axis.trim_end().ends_with("5.000000s"), "axis:\n{g}");
+        assert!(lines[2].contains("#=compute"));
     }
 
     #[test]
@@ -175,7 +248,7 @@ mod tests {
     }
 
     #[test]
-    fn adjacent_compute_events_merge() {
+    fn adjacent_compute_activities_merge() {
         let model = TimeModel {
             alpha: 0.0,
             beta: 0.0,
@@ -188,7 +261,82 @@ mod tests {
             }
         });
         let trace = out.reports[0].trace.as_ref().unwrap();
-        assert_eq!(trace.len(), 1, "contiguous compute must merge");
-        assert!((trace[0].duration() - 100.0).abs() < 1e-12);
+        assert_eq!(trace.activities.len(), 1, "contiguous compute must merge");
+        assert!((trace.activities[0].duration() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_nest_and_tag_activities() {
+        let model = TimeModel {
+            alpha: 0.5,
+            beta: 0.0,
+            flops_per_sec: 1.0,
+        };
+        let m = Machine::new(2, model).with_tracing();
+        let out = m.run(|rank| {
+            let world = rank.world();
+            rank.with_span(SpanCat::Level, "level0", |rank| {
+                rank.set_phase("fact");
+                rank.advance_compute(3);
+                rank.with_span(SpanCat::Node, "sn0", |rank| {
+                    if rank.id() == 0 {
+                        rank.send(&world, 1, 1, Payload::F64s(vec![1.0]));
+                    } else {
+                        rank.recv(&world, 0, 1);
+                    }
+                });
+            });
+            rank.set_phase("solve");
+            rank.advance_compute(2);
+        });
+        for rep in &out.reports {
+            validate_trace(rep).unwrap();
+            let trace = rep.trace.as_ref().unwrap();
+            // level0 > fact > sn0, plus the top-level solve phase.
+            assert!(trace.max_span_depth() >= 3, "spans: {:?}", trace.spans);
+            let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+            assert!(names.contains(&"level0"));
+            assert!(names.contains(&"fact"));
+            assert!(names.contains(&"sn0"));
+            assert!(names.contains(&"solve"));
+            // The send/recv activity must resolve to phase "fact".
+            let comm = trace
+                .activities
+                .iter()
+                .find(|a| a.msg_uid.is_some())
+                .expect("traced p2p activity");
+            assert_eq!(trace.phase_of(comm.span), Some("fact"));
+            // The trailing compute resolves to "solve".
+            let last = trace.activities.last().unwrap();
+            assert_eq!(trace.phase_of(last.span), Some("solve"));
+        }
+    }
+
+    #[test]
+    fn phase_span_reopens_after_enclosing_exit() {
+        // Same phase label across two level spans: each level must get its
+        // own phase span (the first is closed when its level closes).
+        let m = Machine::new(
+            1,
+            TimeModel {
+                alpha: 0.0,
+                beta: 0.0,
+                flops_per_sec: 1.0,
+            },
+        )
+        .with_tracing();
+        let out = m.run(|rank| {
+            for lvl in 0..2 {
+                rank.with_span(SpanCat::Level, &format!("level{lvl}"), |rank| {
+                    rank.set_phase("fact");
+                    rank.advance_compute(1);
+                });
+            }
+        });
+        let trace = out.reports[0].trace.as_ref().unwrap();
+        let facts: Vec<_> = trace.spans.iter().filter(|s| s.name == "fact").collect();
+        assert_eq!(facts.len(), 2, "one fact span per level: {:?}", trace.spans);
+        assert!(facts.iter().all(|s| s.depth == 1));
+        validate_trace(&out.reports[0]).unwrap();
     }
 }

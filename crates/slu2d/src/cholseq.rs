@@ -195,7 +195,14 @@ mod tests {
     #[test]
     fn matches_lu_on_symmetric_input() {
         let a = grid3d_7pt(4, 4, 4, 0.0, 0);
-        let (pa, sym) = prep(&a, Geometry::Grid3d { nx: 4, ny: 4, nz: 4 });
+        let (pa, sym) = prep(
+            &a,
+            Geometry::Grid3d {
+                nx: 4,
+                ny: 4,
+                nz: 4,
+            },
+        );
         let b: Vec<f64> = (0..pa.nrows).map(|i| (i as f64).cos()).collect();
 
         let mut cs = build_chol_store(&pa, &sym);

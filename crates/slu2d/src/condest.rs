@@ -68,7 +68,10 @@ pub fn inverse_norm1_estimate(store: &BlockStore, sym: &Symbolic) -> f64 {
         let y = seq_solve(store, sym, &x); // A^{-1} x
         let est: f64 = y.iter().map(|v| v.abs()).sum();
         best = best.max(est);
-        let xi: Vec<f64> = y.iter().map(|v| if *v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let xi: Vec<f64> = y
+            .iter()
+            .map(|v| if *v >= 0.0 { 1.0 } else { -1.0 })
+            .collect();
         let z = seq_solve_transpose(store, sym, &xi); // A^{-T} sign(y)
         let (jmax, zmax) = z
             .iter()

@@ -70,7 +70,9 @@ impl Prepared {
 
     /// Permute a right-hand side from original to elimination ordering.
     pub fn permute_rhs(&self, b: &[f64]) -> Vec<f64> {
-        (0..b.len()).map(|new| b[self.tree.perm.old_of(new)]).collect()
+        (0..b.len())
+            .map(|new| b[self.tree.perm.old_of(new)])
+            .collect()
     }
 
     /// Bring a solution from elimination back to original ordering.
@@ -192,7 +194,11 @@ mod tests {
         let x = out.x.expect("solution");
         let r = prep.a.residual_inf(&x, &b);
         let bmax = b.iter().fold(1.0f64, |m, v| m.max(v.abs()));
-        assert!(r / bmax < 1e-8, "grid {pr}x{pc}: relative residual {}", r / bmax);
+        assert!(
+            r / bmax < 1e-8,
+            "grid {pr}x{pc}: relative residual {}",
+            r / bmax
+        );
     }
 
     #[test]
@@ -235,7 +241,11 @@ mod tests {
     fn solves_3d_problem_on_2x3() {
         check_solve(
             grid3d_7pt(4, 4, 4, 0.1, 5),
-            Geometry::Grid3d { nx: 4, ny: 4, nz: 4 },
+            Geometry::Grid3d {
+                nx: 4,
+                ny: 4,
+                nz: 4,
+            },
             2,
             3,
         );
@@ -252,8 +262,15 @@ mod tests {
         let prep = Prepared::new(a, Geometry::Grid2d { nx: 8, ny: 8 }, 6, 4);
         // Sequential factors.
         let g1 = simgrid::Grid2d::new(1, 1);
-        let mut seq_store =
-            BlockStore::build(&prep.pa, &prep.sym, &g1, 0, 0, &|_| true, InitValues::FromMatrix);
+        let mut seq_store = BlockStore::build(
+            &prep.pa,
+            &prep.sym,
+            &g1,
+            0,
+            0,
+            &|_| true,
+            InitValues::FromMatrix,
+        );
         seq_factor(&mut seq_store, &prep.sym, 1e-10);
 
         // Distributed factors, gathered by re-running per rank and pulling
@@ -274,7 +291,13 @@ mod tests {
                 opts: FactorOpts::default(),
             };
             let mut store = BlockStore::build(
-                &pa, &sym, &grid3.grid2d, my_r, my_c, &|_| true, InitValues::FromMatrix,
+                &pa,
+                &sym,
+                &grid3.grid2d,
+                my_r,
+                my_c,
+                &|_| true,
+                InitValues::FromMatrix,
             );
             let nodes: Vec<usize> = (0..sym.nsup()).collect();
             let mut done = vec![false; sym.nsup()];
@@ -309,7 +332,10 @@ mod tests {
             2,
             2,
             TimeModel::zero(),
-            FactorOpts { lookahead: 0, ..Default::default() },
+            FactorOpts {
+                lookahead: 0,
+                ..Default::default()
+            },
             Some(b.clone()),
         );
         let o8 = run_2d(
@@ -317,7 +343,10 @@ mod tests {
             2,
             2,
             TimeModel::zero(),
-            FactorOpts { lookahead: 8, ..Default::default() },
+            FactorOpts {
+                lookahead: 8,
+                ..Default::default()
+            },
             Some(b),
         );
         let x0 = o0.x.unwrap();

@@ -3,7 +3,7 @@
 
 use crate::kernels::{factor_step_panel, factor_step_schur, PanelData};
 use crate::store::BlockStore;
-use simgrid::{Comm, Grid2d, Rank};
+use simgrid::{Comm, Grid2d, Rank, SpanCat};
 use std::collections::HashMap;
 use symbolic::Symbolic;
 
@@ -78,10 +78,7 @@ pub fn factor_nodes(
     let children = sym.fill.children();
     let mut pending: HashMap<usize, usize> = HashMap::new();
     for &k in nodes {
-        pending.insert(
-            k,
-            children[k].iter().filter(|&&c| !done[c]).count(),
-        );
+        pending.insert(k, children[k].iter().filter(|&&c| !done[c]).count());
     }
 
     let mut panels: HashMap<usize, PanelData> = HashMap::new();
@@ -99,7 +96,9 @@ pub fn factor_nodes(
             if paneled[j] || pending[&m] > 0 {
                 continue;
             }
-            let (pd, pert) = factor_step_panel(rank, env, store, sym, m);
+            let (pd, pert) = rank.with_span(SpanCat::Node, &format!("panel{m}"), |rank| {
+                factor_step_panel(rank, env, store, sym, m)
+            });
             outcome.perturbations += pert;
             if j > idx {
                 outcome.lookahead_hits += 1;
@@ -111,7 +110,9 @@ pub fn factor_nodes(
         let pd = panels
             .remove(&k)
             .expect("current node must be panel-ready (children all done)");
-        factor_step_schur(rank, env, store, sym, k, &pd);
+        rank.with_span(SpanCat::Node, &format!("schur{k}"), |rank| {
+            factor_step_schur(rank, env, store, sym, k, &pd);
+        });
         done[k] = true;
         // The Schur update completes node k; decrement its etree parent's
         // pending count if the parent is in this list.

@@ -46,7 +46,12 @@ pub fn factor_step_panel(
         let d = store
             .get_mut(k, k)
             .expect("diagonal owner must hold the diagonal block");
-        let info = getrf(d, PivotPolicy::Static { threshold: env.opts.pivot_threshold });
+        let info = getrf(
+            d,
+            PivotPolicy::Static {
+                threshold: env.opts.pivot_threshold,
+            },
+        );
         perturbations = info.perturbations;
     }
 
@@ -62,7 +67,9 @@ pub fn factor_step_panel(
             } else {
                 None
             };
-            let buf = rank.bcast(&env.row, kc, data, T_DIAG_ROW | k as u64).into_f64s();
+            let buf = rank
+                .bcast(&env.row, kc, data, T_DIAG_ROW | k as u64)
+                .into_f64s();
             let w = sym.part.width(k);
             diag_lu = Some(Mat::from_vec(w, w, buf));
         }
@@ -72,7 +79,9 @@ pub fn factor_step_panel(
             } else {
                 None
             };
-            let buf = rank.bcast(&env.col, kr, data, T_DIAG_COL | k as u64).into_f64s();
+            let buf = rank
+                .bcast(&env.col, kr, data, T_DIAG_COL | k as u64)
+                .into_f64s();
             let w = sym.part.width(k);
             diag_lu = Some(Mat::from_vec(w, w, buf));
         }
@@ -80,7 +89,9 @@ pub fn factor_step_panel(
 
     // 3. Panel solves.
     if !struct_k.is_empty() && env.my_c == kc {
-        let d = diag_lu.as_ref().expect("column owners received the diagonal");
+        let d = diag_lu
+            .as_ref()
+            .expect("column owners received the diagonal");
         for &i in struct_k {
             if i % grid.pr == env.my_r {
                 let b = store
@@ -166,17 +177,23 @@ pub fn factor_step_schur(
         if j % grid.pc != env.my_c {
             continue;
         }
-        let Some(u) = panels.umap.get(&j) else { continue };
+        let Some(u) = panels.umap.get(&j) else {
+            continue;
+        };
         for &i in struct_k {
             if i % grid.pr != env.my_r {
                 continue;
             }
-            let Some(l) = panels.lmap.get(&i) else { continue };
+            let Some(l) = panels.lmap.get(&i) else {
+                continue;
+            };
             let target = store.get_mut(i, j).unwrap_or_else(|| {
                 panic!("Schur target block ({i},{j}) missing — fill closure violated")
             });
             densela::gemm(-1.0, l, u, 1.0, target);
         }
     }
-    rank.advance_compute(flops::get() - f0);
+    let df = flops::get() - f0;
+    rank.metric_observe("gemm.flops_per_supernode", df as f64);
+    rank.advance_compute(df);
 }

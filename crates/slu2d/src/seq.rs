@@ -6,8 +6,7 @@
 
 use crate::store::BlockStore;
 use densela::{
-    backward_subst, forward_subst_unit, getrf, trsm_left_lower_unit, trsm_right_upper,
-    PivotPolicy,
+    backward_subst, forward_subst_unit, getrf, trsm_left_lower_unit, trsm_right_upper, PivotPolicy,
 };
 use symbolic::Symbolic;
 
@@ -20,7 +19,12 @@ pub fn seq_factor(store: &mut BlockStore, sym: &Symbolic, pivot_threshold: f64) 
         // Diagonal factorization.
         let info = {
             let d = store.get_mut(k, k).expect("diagonal block");
-            getrf(d, PivotPolicy::Static { threshold: pivot_threshold })
+            getrf(
+                d,
+                PivotPolicy::Static {
+                    threshold: pivot_threshold,
+                },
+            )
         };
         perturbations += info.perturbations;
         let d = store.get(k, k).unwrap().clone();
@@ -172,8 +176,15 @@ mod tests {
         let pa = a.permute_sym(&tree.perm).symmetrize_pattern();
         let sym = Symbolic::analyze(&pa, &tree, maxsup);
         let grid = Grid2d::new(1, 1);
-        let mut store =
-            crate::store::BlockStore::build(&pa, &sym, &grid, 0, 0, &|_| true, InitValues::FromMatrix);
+        let mut store = crate::store::BlockStore::build(
+            &pa,
+            &sym,
+            &grid,
+            0,
+            0,
+            &|_| true,
+            InitValues::FromMatrix,
+        );
         seq_factor(&mut store, &sym, 1e-10);
 
         // Known solution in the ORIGINAL ordering.
@@ -246,7 +257,16 @@ mod tests {
     #[test]
     fn solves_3d_grid() {
         let a = grid3d_7pt(5, 5, 5, 0.1, 4);
-        let r = factor_solve_residual(&a, Geometry::Grid3d { nx: 5, ny: 5, nz: 5 }, 12, 10);
+        let r = factor_solve_residual(
+            &a,
+            Geometry::Grid3d {
+                nx: 5,
+                ny: 5,
+                nz: 5,
+            },
+            12,
+            10,
+        );
         assert!(r < 1e-9, "relative residual {r}");
     }
 

@@ -286,7 +286,15 @@ mod tests {
         let grid = Grid2d::new(1, 1);
         let nsup = sym.nsup();
         let half = nsup / 2;
-        let s = BlockStore::build(&pa, &sym, &grid, 0, 0, &|j| j < half, InitValues::FromMatrix);
+        let s = BlockStore::build(
+            &pa,
+            &sym,
+            &grid,
+            0,
+            0,
+            &|j| j < half,
+            InitValues::FromMatrix,
+        );
         for (i, j) in s.keys() {
             assert!(i < half && j < half);
         }

@@ -35,7 +35,10 @@ impl Coo {
     /// Append one entry. Panics on out-of-range indices.
     #[inline]
     pub fn push(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.nrows && j < self.ncols, "entry ({i},{j}) out of range");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "entry ({i},{j}) out of range"
+        );
         self.rows.push(i);
         self.cols.push(j);
         self.vals.push(v);

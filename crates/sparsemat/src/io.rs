@@ -78,7 +78,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, MmError> {
     let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| parse_err(format!("bad size field {t}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| parse_err(format!("bad size field {t}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(parse_err("size line must have 3 fields"));
@@ -86,7 +89,11 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, MmError> {
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
 
     let mut coo = Coo::new(nrows, ncols);
-    coo.reserve(if symmetry == "symmetric" { 2 * nnz } else { nnz });
+    coo.reserve(if symmetry == "symmetric" {
+        2 * nnz
+    } else {
+        nnz
+    });
     let mut seen = 0usize;
     for line in lines {
         let line = line?;

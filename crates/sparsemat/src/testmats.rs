@@ -34,8 +34,15 @@ pub enum MatrixClass {
 /// nested-dissection orderer can compute exact separators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Geometry {
-    Grid2d { nx: usize, ny: usize },
-    Grid3d { nx: usize, ny: usize, nz: usize },
+    Grid2d {
+        nx: usize,
+        ny: usize,
+    },
+    Grid3d {
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    },
     /// No usable geometry (general graph): use multilevel ND.
     General,
 }
@@ -89,8 +96,16 @@ fn dims3d(s: Scale, base: usize) -> usize {
 
 /// All test-matrix names, in the order the paper's tables list them.
 pub const ALL_NAMES: &[&str] = &[
-    "audikw", "coupcons", "dielfilter", "ldoor", "nlpkkt", "g3circuit", "ecology", "k2d5pt",
-    "s2d9pt", "serena3d",
+    "audikw",
+    "coupcons",
+    "dielfilter",
+    "ldoor",
+    "nlpkkt",
+    "g3circuit",
+    "ecology",
+    "k2d5pt",
+    "s2d9pt",
+    "serena3d",
 ];
 
 /// Build one named test matrix at the given scale. Panics on unknown names
@@ -144,7 +159,11 @@ pub fn test_matrix(name: &str, scale: Scale) -> TestMatrix {
                 name: "serena3d",
                 paper_name: "Serena",
                 class: MatrixClass::NonPlanar,
-                geometry: Geometry::Grid3d { nx: s, ny: s, nz: s },
+                geometry: Geometry::Grid3d {
+                    nx: s,
+                    ny: s,
+                    nz: s,
+                },
                 matrix: matgen::grid3d_7pt(s, s, s, unsym, 15),
             }
         }
@@ -154,7 +173,11 @@ pub fn test_matrix(name: &str, scale: Scale) -> TestMatrix {
                 name: "audikw",
                 paper_name: "audikw_1",
                 class: MatrixClass::NonPlanar,
-                geometry: Geometry::Grid3d { nx: s, ny: s, nz: s },
+                geometry: Geometry::Grid3d {
+                    nx: s,
+                    ny: s,
+                    nz: s,
+                },
                 matrix: matgen::grid3d_27pt(s, s, s, unsym, 16),
             }
         }
@@ -178,7 +201,11 @@ pub fn test_matrix(name: &str, scale: Scale) -> TestMatrix {
                 name: "coupcons",
                 paper_name: "CoupCons3D",
                 class: MatrixClass::NonPlanar,
-                geometry: Geometry::Grid3d { nx: s, ny: s, nz: s },
+                geometry: Geometry::Grid3d {
+                    nx: s,
+                    ny: s,
+                    nz: s,
+                },
                 matrix: matgen::grid3d_7pt(s, s, s, unsym, 18),
             }
         }
@@ -230,7 +257,10 @@ mod tests {
 
     #[test]
     fn classes_match_expectations() {
-        assert_eq!(test_matrix("k2d5pt", Scale::Tiny).class, MatrixClass::Planar);
+        assert_eq!(
+            test_matrix("k2d5pt", Scale::Tiny).class,
+            MatrixClass::Planar
+        );
         assert_eq!(
             test_matrix("serena3d", Scale::Tiny).class,
             MatrixClass::NonPlanar

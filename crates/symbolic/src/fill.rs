@@ -117,7 +117,12 @@ mod tests {
     use sparsemat::testmats::Geometry;
     use sparsemat::{Coo, Perm};
 
-    fn analyze(a: &sparsemat::Csr, geom: Geometry, leaf: usize, maxsup: usize) -> (BlockFill, SnPartition, Perm) {
+    fn analyze(
+        a: &sparsemat::Csr,
+        geom: Geometry,
+        leaf: usize,
+        maxsup: usize,
+    ) -> (BlockFill, SnPartition, Perm) {
         let g = Graph::from_matrix(a);
         let tree = nested_dissection(
             &g,

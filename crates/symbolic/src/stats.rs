@@ -111,8 +111,14 @@ mod tests {
     fn fill_grows_superlinearly_with_n_planar() {
         // Planar LU factors are Theta(n log n); quadrupling n should grow
         // factor words by clearly more than 4x but far less than 16x.
-        let (_, s1) = costs_for(&grid2d_5pt(16, 16, 0.0, 0), Geometry::Grid2d { nx: 16, ny: 16 });
-        let (_, s2) = costs_for(&grid2d_5pt(32, 32, 0.0, 0), Geometry::Grid2d { nx: 32, ny: 32 });
+        let (_, s1) = costs_for(
+            &grid2d_5pt(16, 16, 0.0, 0),
+            Geometry::Grid2d { nx: 16, ny: 16 },
+        );
+        let (_, s2) = costs_for(
+            &grid2d_5pt(32, 32, 0.0, 0),
+            Geometry::Grid2d { nx: 32, ny: 32 },
+        );
         let ratio = s2.factor_words as f64 / s1.factor_words as f64;
         assert!(ratio > 3.5 && ratio < 12.0, "ratio {ratio}");
     }
@@ -127,7 +133,11 @@ mod tests {
             &g,
             NdOptions {
                 leaf_size: 16,
-                geometry: Geometry::Grid3d { nx: 8, ny: 8, nz: 8 },
+                geometry: Geometry::Grid3d {
+                    nx: 8,
+                    ny: 8,
+                    nz: 8,
+                },
                 ..Default::default()
             },
         );
@@ -150,7 +160,10 @@ mod tests {
 
     #[test]
     fn flops_of_sums_subsets() {
-        let (cost, stats) = costs_for(&grid2d_5pt(12, 12, 0.0, 0), Geometry::Grid2d { nx: 12, ny: 12 });
+        let (cost, stats) = costs_for(
+            &grid2d_5pt(12, 12, 0.0, 0),
+            Geometry::Grid2d { nx: 12, ny: 12 },
+        );
         let all: Vec<usize> = (0..cost.flops.len()).collect();
         assert_eq!(cost.flops_of(&all), stats.total_flops);
         assert_eq!(cost.flops_of(&[]), 0);

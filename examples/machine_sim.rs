@@ -43,7 +43,10 @@ fn main() {
         (r, c, z, colsum.is_some())
     });
 
-    println!("{:>6} {:>8} {:>10} {:>10} {:>10} {:>10}", "rank", "(r,c,z)", "clock", "t_comp", "t_comm", "words");
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "rank", "(r,c,z)", "clock", "t_comp", "t_comm", "words"
+    );
     for (i, rep) in out.reports.iter().enumerate() {
         let (r, c, z, _) = out.results[i];
         println!(

@@ -29,7 +29,13 @@ fn main() {
     );
     let mut w2d = None;
     let mut m2d = None;
-    for &(pr, pc, pz) in &[(4usize, 4usize, 1usize), (2, 4, 2), (2, 2, 4), (1, 2, 8), (1, 1, 16)] {
+    for &(pr, pc, pz) in &[
+        (4usize, 4usize, 1usize),
+        (2, 4, 2),
+        (2, 2, 4),
+        (1, 2, 8),
+        (1, 1, 16),
+    ] {
         let cfg = SolverConfig {
             pr,
             pc,

@@ -16,7 +16,10 @@ fn main() {
     println!("graph: {} vertices, {} edges", g.n(), g.num_edges());
 
     for (name, geometry) in [
-        ("geometric ND (exact plane separators)", Geometry::Grid2d { nx, ny: nx }),
+        (
+            "geometric ND (exact plane separators)",
+            Geometry::Grid2d { nx, ny: nx },
+        ),
         ("multilevel ND (METIS-style)", Geometry::General),
     ] {
         let tree = nested_dissection(
@@ -33,7 +36,10 @@ fn main() {
         println!("\n== {name} ==");
         println!("  tree height          = {}", tree.height());
         let sizes = tree.separator_sizes_by_level();
-        println!("  separator sizes/level: {:?}", &sizes[..sizes.len().min(6)]);
+        println!(
+            "  separator sizes/level: {:?}",
+            &sizes[..sizes.len().min(6)]
+        );
         println!(
             "  sqrt-law reference    : top separator {} vs sqrt(n) = {:.0}",
             tree.nodes[tree.root()].width(),

@@ -16,13 +16,8 @@ fn main() {
     let prep = Prepared::new(a, Geometry::Grid2d { nx, ny: nx }, 32, 32);
 
     // Fixed P = 16 ranks; trade layer size for z-depth.
-    let configs: &[(usize, usize, usize)] = &[
-        (4, 4, 1),
-        (2, 4, 2),
-        (2, 2, 4),
-        (1, 2, 8),
-        (1, 1, 16),
-    ];
+    let configs: &[(usize, usize, usize)] =
+        &[(4, 4, 1), (2, 4, 2), (2, 2, 4), (1, 2, 8), (1, 1, 16)];
     println!(
         "\n{:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "grid", "T_sim (s)", "T_scu (s)", "T_comm (s)", "W_fact+red", "mem/rank"
@@ -65,7 +60,14 @@ fn main() {
         "\nbest speedup over the 2D baseline: {:.2}x",
         base_t.unwrap() / best_t
     );
-    println!(
-        "(the paper reports 2-11.6x for planar matrices on 16 nodes, Fig. 9)"
-    );
+    println!("(the paper reports 2-11.6x for planar matrices on 16 nodes, Fig. 9)");
+
+    // Refresh the pinned observability artifacts (see `salu::sample`): a
+    // Chrome trace and a metrics dump of a small deterministic traced run.
+    // The `observability` test asserts the committed copies match.
+    let (trace, metrics) = salu::sample::sample_artifacts();
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/sample_trace.json", trace).expect("write trace");
+    std::fs::write("results/sample_metrics.json", metrics).expect("write metrics");
+    println!("\nwrote results/sample_trace.json and results/sample_metrics.json");
 }

@@ -35,7 +35,10 @@ fn manufactured(k: usize) -> (Vec<f64>, Vec<f64>, f64) {
 
 fn main() {
     println!("-Laplace(u) = f on the unit square, u = sin(pi x) sin(pi y)\n");
-    println!("{:>6} {:>10} {:>14} {:>12} {:>10}", "grid", "n", "max error", "rate", "resid");
+    println!(
+        "{:>6} {:>10} {:>14} {:>12} {:>10}",
+        "grid", "n", "max error", "rate", "resid"
+    );
     let mut prev_err: Option<f64> = None;
     for k in [16usize, 32, 64, 96] {
         // Pure Laplacian: drop the generator's diagonal shift by building

@@ -12,7 +12,11 @@ fn main() {
     // a few seconds: a 96x96 five-point Laplacian, n = 9216.
     let nx = 96;
     let a = salu::sparsemat::matgen::grid2d_5pt(nx, nx, 0.1, 42);
-    println!("matrix: 2D 5-point Laplacian, n = {}, nnz = {}", a.nrows, a.nnz());
+    println!(
+        "matrix: 2D 5-point Laplacian, n = {}, nnz = {}",
+        a.nrows,
+        a.nnz()
+    );
 
     // A manufactured solution gives us a residual check.
     let x_true: Vec<f64> = (0..a.nrows).map(|i| ((i % 11) as f64) - 5.0).collect();
@@ -43,13 +47,25 @@ fn main() {
     // Re-run factor-only so the timing comparison below excludes the solve
     // phase on both sides (the paper times factorization only).
     let fact3d = factor_only(&prep, &cfg);
-    println!("\n3D factorization on a {}x{}x{} grid:", cfg.pr, cfg.pc, cfg.pz);
-    println!("  relative residual      = {:.2e}", resid / b.iter().fold(1.0f64, |m, v| m.max(v.abs())));
+    println!(
+        "\n3D factorization on a {}x{}x{} grid:",
+        cfg.pr, cfg.pc, cfg.pz
+    );
+    println!(
+        "  relative residual      = {:.2e}",
+        resid / b.iter().fold(1.0f64, |m, v| m.max(v.abs()))
+    );
     println!("  static pivot perturbs  = {}", out.perturbations);
-    println!("  simulated makespan     = {:.4} s (factorization)", fact3d.makespan());
+    println!(
+        "  simulated makespan     = {:.4} s (factorization)",
+        fact3d.makespan()
+    );
     println!("  W_fact (max per rank)  = {} words", fact3d.w_fact());
     println!("  W_red  (max per rank)  = {} words", fact3d.w_red());
-    println!("  peak factor storage    = {:.2} Mwords/rank", fact3d.max_store_words as f64 / 1e6);
+    println!(
+        "  peak factor storage    = {:.2} Mwords/rank",
+        fact3d.max_store_words as f64 / 1e6
+    );
 
     // Compare with the 2D baseline on the same number of ranks (4x4x1).
     let cfg2d = SolverConfig {

@@ -26,6 +26,8 @@ struct Args {
     condest: bool,
     chol: bool,
     symmetric: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -49,7 +51,11 @@ fn usage() -> ! {
          \x20 --no-compare       skip the 2D-baseline comparison run\n\
          \x20 --condest          estimate the 1-norm condition number (sequential)\n\
          \x20 --chol             also run the Cholesky variant (needs --sym)\n\
-         \x20 --sym              generate value-symmetric matrices (for --chol)"
+         \x20 --sym              generate value-symmetric matrices (for --chol)\n\
+         \x20 --trace-out FILE   write a Chrome trace-event JSON of the run\n\
+         \x20                    (open in ui.perfetto.dev) and print the\n\
+         \x20                    critical-path attribution\n\
+         \x20 --metrics-out FILE write the merged metrics registry as JSON"
     );
     exit(2)
 }
@@ -67,6 +73,8 @@ fn parse_args() -> Args {
         condest: false,
         chol: false,
         symmetric: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -90,9 +98,13 @@ fn parse_args() -> Args {
             }
             "--maxsup" => args.maxsup = val("--maxsup").parse().unwrap_or_else(|_| usage()),
             "--leaf" => args.leaf = val("--leaf").parse().unwrap_or_else(|_| usage()),
-            "--lookahead" => args.lookahead = val("--lookahead").parse().unwrap_or_else(|_| usage()),
+            "--lookahead" => {
+                args.lookahead = val("--lookahead").parse().unwrap_or_else(|_| usage())
+            }
             "--refine" => args.refine = val("--refine").parse().unwrap_or_else(|_| usage()),
             "--no-compare" => args.compare_2d = false,
+            "--trace-out" => args.trace_out = Some(val("--trace-out")),
+            "--metrics-out" => args.metrics_out = Some(val("--metrics-out")),
             "--condest" => args.condest = true,
             "--chol" => args.chol = true,
             "--sym" => args.symmetric = true,
@@ -124,12 +136,10 @@ fn build_matrix(args: &Args) -> (Csr, Geometry, String) {
         return (a, Geometry::General, path.clone());
     }
     let spec = args.gen_spec.as_ref().unwrap();
-    let (kind, size) = spec
-        .split_once(':')
-        .unwrap_or_else(|| {
-            eprintln!("bad --gen '{spec}', expected KIND:SIZE");
-            usage()
-        });
+    let (kind, size) = spec.split_once(':').unwrap_or_else(|| {
+        eprintln!("bad --gen '{spec}', expected KIND:SIZE");
+        usage()
+    });
     let k: usize = size.parse().unwrap_or_else(|_| {
         eprintln!("bad size in --gen '{spec}'");
         usage()
@@ -147,12 +157,20 @@ fn build_matrix(args: &Args) -> (Csr, Geometry, String) {
         ),
         "grid3d" => (
             salu::sparsemat::matgen::grid3d_7pt(k, k, k, unsym, 1),
-            Geometry::Grid3d { nx: k, ny: k, nz: k },
+            Geometry::Grid3d {
+                nx: k,
+                ny: k,
+                nz: k,
+            },
             format!("3D 7-pt {k}^3"),
         ),
         "grid3d27" => (
             salu::sparsemat::matgen::grid3d_27pt(k, k, k, unsym, 1),
-            Geometry::Grid3d { nx: k, ny: k, nz: k },
+            Geometry::Grid3d {
+                nx: k,
+                ny: k,
+                nz: k,
+            },
             format!("3D 27-pt {k}^3"),
         ),
         "kkt" => (
@@ -172,7 +190,10 @@ fn main() {
     let (a, geometry, label) = build_matrix(&args);
     let (pr, pc, pz) = args.grid;
     println!("matrix : {label}  (n = {}, nnz = {})", a.nrows, a.nnz());
-    println!("grid   : {pr} x {pc} x {pz}  ({} simulated ranks)", pr * pc * pz);
+    println!(
+        "grid   : {pr} x {pc} x {pz}  ({} simulated ranks)",
+        pr * pc * pz
+    );
 
     let x_true: Vec<f64> = (0..a.nrows).map(|i| ((i % 21) as f64) - 10.0).collect();
     let b = a.matvec(&x_true);
@@ -193,6 +214,7 @@ fn main() {
         pz,
         lookahead: args.lookahead,
         refine_steps: args.refine,
+        tracing: args.trace_out.is_some(),
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
@@ -201,18 +223,53 @@ fn main() {
     let x = out.x.as_ref().expect("solution");
     let bmax = b.iter().fold(1.0f64, |m, v| m.max(v.abs()));
     println!("\nfactor+solve  [{wall:.2}s wall]");
-    println!("  residual |Ax-b|/|b|   = {:.2e}", prep.a.residual_inf(x, &b) / bmax);
+    println!(
+        "  residual |Ax-b|/|b|   = {:.2e}",
+        prep.a.residual_inf(x, &b) / bmax
+    );
     println!("  pivot perturbations   = {}", out.perturbations);
     println!("  simulated time        = {:.4} s", out.makespan());
-    println!("  W_fact / W_red        = {} / {} words per rank (max)", out.w_fact(), out.w_red());
-    println!("  peak memory per rank  = {:.2} MB", out.max_store_words as f64 * 8.0 / 1e6);
+    println!(
+        "  W_fact / W_red        = {} / {} words per rank (max)",
+        out.w_fact(),
+        out.w_red()
+    );
+    println!(
+        "  peak memory per rank  = {:.2} MB",
+        out.max_store_words as f64 * 8.0 / 1e6
+    );
+
+    if let Some(path) = &args.trace_out {
+        let doc = out.chrome_trace().expect("tracing was enabled");
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("failed to write {path}: {e}");
+            exit(1);
+        }
+        println!("\ntrace written to {path} (open in ui.perfetto.dev)");
+        if let Some(cp) = out.critical_path() {
+            println!("{}", cp.render());
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, out.metrics().to_json().pretty()) {
+            eprintln!("failed to write {path}: {e}");
+            exit(1);
+        }
+        println!("metrics written to {path}");
+    }
 
     if args.condest {
         use salu::slu2d::store::{BlockStore, InitValues};
         use salu::slu2d::{condest_1, seq_factor};
         let grid = salu::simgrid::Grid2d::new(1, 1);
         let mut store = BlockStore::build(
-            &prep.pa, &prep.sym, &grid, 0, 0, &|_| true, InitValues::FromMatrix,
+            &prep.pa,
+            &prep.sym,
+            &grid,
+            0,
+            0,
+            &|_| true,
+            InitValues::FromMatrix,
         );
         seq_factor(&mut store, &prep.sym, 1e-10);
         println!(
@@ -243,8 +300,7 @@ fn main() {
                     println!(
                         "\nCholesky variant: residual = {:.2e} (storage {:.0}% of LU)",
                         prep.a.residual_inf(&xs, &b) / bmax,
-                        100.0 * cs.total_words() as f64
-                            / prep.sym.stats().factor_words as f64
+                        100.0 * cs.total_words() as f64 / prep.sym.stats().factor_words as f64
                     );
                 }
                 Err(e) => println!(
@@ -269,7 +325,10 @@ fn main() {
         );
         println!("\n2D baseline ({br} x {bc} x 1):");
         println!("  simulated time        = {:.4} s", base.makespan());
-        println!("  W_fact                = {} words per rank (max)", base.w_fact());
+        println!(
+            "  W_fact                = {} words per rank (max)",
+            base.w_fact()
+        );
         println!(
             "  3D speedup            = {:.2}x   comm reduction = {:.2}x   memory overhead = {:+.0}%",
             base.makespan() / out_factor_makespan(&prep, &cfg),

@@ -43,6 +43,8 @@
 //! assert!(prep.a.residual_inf(&x, &b) < 1e-8);
 //! ```
 
+pub mod sample;
+
 pub use costmodel;
 pub use dense25d;
 pub use densela;

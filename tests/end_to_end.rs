@@ -116,7 +116,9 @@ fn distributed_3d_solve_matches_gather_solve() {
     use salu::lu3d::solver::SolveStrategy;
     let tm = test_matrix("s2d9pt", Scale::Tiny);
     let a = &tm.matrix;
-    let b: Vec<f64> = (0..a.nrows).map(|i| ((i * 13) % 23) as f64 - 11.0).collect();
+    let b: Vec<f64> = (0..a.nrows)
+        .map(|i| ((i * 13) % 23) as f64 - 11.0)
+        .collect();
     let prep = Prepared::new(a.clone(), tm.geometry, 16, 16);
     let run = |strategy: SolveStrategy| -> Vec<f64> {
         factor_and_solve(

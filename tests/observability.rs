@@ -1,0 +1,198 @@
+//! Observability invariants of full 3D runs: phase-labelled traffic,
+//! Chrome trace export, critical-path attribution, and the pinned sample
+//! artifacts under `results/`.
+
+use proptest::prelude::*;
+use salu::prelude::*;
+use salu::simgrid::obs::validate_chrome_trace;
+use salu::simgrid::{validate_trace, Json, Machine, SpanCat};
+
+fn traced_run(pz: usize, rhs: bool) -> Output3d {
+    let nx = 12;
+    let a = salu::sparsemat::matgen::grid2d_5pt(nx, nx, 0.1, 3);
+    let b = if rhs {
+        let x_true: Vec<f64> = (0..a.nrows).map(|i| (i % 7) as f64).collect();
+        Some(a.matvec(&x_true))
+    } else {
+        None
+    };
+    let prep = Prepared::new(a, Geometry::Grid2d { nx, ny: nx }, 8, 8);
+    let cfg = SolverConfig {
+        pr: 1,
+        pc: 2,
+        pz,
+        model: TimeModel::edison_like(),
+        tracing: true,
+        ..Default::default()
+    };
+    factor_and_solve(&prep, &cfg, b)
+}
+
+#[test]
+fn traffic_phases_are_exactly_fact_reduce_solve() {
+    let out = traced_run(2, true);
+    let mut phases: Vec<&str> = out
+        .reports
+        .iter()
+        .flat_map(|r| r.traffic.keys().map(|k| k.as_str()))
+        .collect();
+    phases.sort_unstable();
+    phases.dedup();
+    assert_eq!(
+        phases,
+        vec!["fact", "reduce", "solve"],
+        "traffic phase keys"
+    );
+    // In particular no message may ever be charged to the unlabeled
+    // "default" phase: every communication path must set its phase first.
+    for (rank, rep) in out.reports.iter().enumerate() {
+        assert!(
+            !rep.traffic.contains_key("default"),
+            "rank {rank} has traffic in the default phase"
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_roundtrips_with_nesting_and_flows() {
+    let out = traced_run(2, true);
+    let doc = out.chrome_trace().expect("tracing was on");
+    // Serialize and parse back: the exported document must be valid JSON
+    // and a structurally sound trace (slices properly nested per track,
+    // every flow-finish matched by a flow-start).
+    let parsed = Json::parse(&doc.dump()).expect("trace must parse back");
+    let stats = validate_chrome_trace(&parsed).expect("trace must validate");
+    assert_eq!(stats.tracks, out.reports.len(), "one track per rank");
+    // level -> phase -> supernode/collective: at least 3 deep.
+    assert!(stats.max_nesting >= 3, "nesting {}", stats.max_nesting);
+    assert!(stats.flow_pairs > 0, "send->recv flow arrows must appear");
+    assert!(stats.events > stats.tracks, "spans + activities present");
+}
+
+#[test]
+fn critical_path_attribution_covers_makespan() {
+    let out = traced_run(4, true);
+    let cp = out.critical_path().expect("tracing was on");
+    assert!(cp.makespan > 0.0);
+    // The path segments tile [0, makespan]: attribution is exhaustive.
+    assert!(
+        (cp.coverage() - 1.0).abs() < 1e-9,
+        "critical-path coverage {}",
+        cp.coverage()
+    );
+    let total: f64 = cp.attribution_fractions().values().sum();
+    assert!((total - 1.0).abs() < 1e-9, "phase fractions sum to {total}");
+    // With Pz = 4 the path must cross ranks at least once (ancestor
+    // reductions serialize grids along z).
+    assert!(cp.rank_hops >= 1, "hops {}", cp.rank_hops);
+    let makespan = out.makespan();
+    assert!(
+        (cp.makespan - makespan).abs() <= 1e-12 * (1.0 + makespan),
+        "cp makespan {} vs summary {makespan}",
+        cp.makespan
+    );
+}
+
+#[test]
+fn factor_only_runs_have_no_solve_phase() {
+    let out = {
+        let nx = 12;
+        let a = salu::sparsemat::matgen::grid2d_5pt(nx, nx, 0.1, 3);
+        let prep = Prepared::new(a, Geometry::Grid2d { nx, ny: nx }, 8, 8);
+        factor_only(
+            &prep,
+            &SolverConfig {
+                pr: 1,
+                pc: 2,
+                pz: 2,
+                tracing: true,
+                ..Default::default()
+            },
+        )
+    };
+    for rep in &out.reports {
+        assert!(!rep.traffic.contains_key("solve"));
+        assert!(!rep.traffic.contains_key("default"));
+    }
+}
+
+#[test]
+fn sample_artifacts_match_pinned_goldens() {
+    let (trace, metrics) = salu::sample::sample_artifacts();
+    let root = env!("CARGO_MANIFEST_DIR");
+    let want_trace = std::fs::read_to_string(format!("{root}/results/sample_trace.json"))
+        .expect("run `cargo run --example planar_scaling` to create the goldens");
+    let want_metrics = std::fs::read_to_string(format!("{root}/results/sample_metrics.json"))
+        .expect("run `cargo run --example planar_scaling` to create the goldens");
+    // Byte-identical: the simulation and the JSON writer are deterministic.
+    // On mismatch, rerun the example and review the diff like any golden.
+    assert_eq!(trace, want_trace, "results/sample_trace.json is stale");
+    assert_eq!(
+        metrics, want_metrics,
+        "results/sample_metrics.json is stale"
+    );
+    // And the pinned trace itself must stay a valid Chrome trace.
+    let stats = validate_chrome_trace(&Json::parse(&want_trace).unwrap()).unwrap();
+    assert!(stats.max_nesting >= 3 && stats.flow_pairs > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// `validate_trace` accepts whatever span nesting the recorder produces:
+    /// random interleavings of span enter/exit, phase changes, and compute
+    /// always yield a well-formed store (chronological activities, children
+    /// inside parents, depths consistent).
+    #[test]
+    fn recorder_always_yields_valid_traces(
+        seed in 0u64..10_000,
+        n_ops in 1usize..60,
+        max_flops in 1u64..50,
+    ) {
+        let m = Machine::new(1, TimeModel {
+            alpha: 0.0,
+            beta: 0.0,
+            flops_per_sec: 1.0,
+        })
+        .with_tracing();
+        let out = m.run(move |rank| {
+            // Deterministic op sequence from the seed (splitmix64-style).
+            let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            let mut next = || {
+                s ^= s >> 30;
+                s = s.wrapping_mul(0xbf58476d1ce4e5b9);
+                s ^= s >> 27;
+                s
+            };
+            let mut stack = Vec::new();
+            for i in 0..n_ops {
+                match next() % 4 {
+                    0 => {
+                        let cat = [SpanCat::Level, SpanCat::Node, SpanCat::Other]
+                            [(next() % 3) as usize];
+                        stack.push(rank.span_enter(cat, &format!("s{i}")));
+                    }
+                    1 => {
+                        if let Some(id) = stack.pop() {
+                            rank.span_exit(id);
+                        }
+                    }
+                    2 => rank.set_phase(["fact", "reduce", "solve"][(next() % 3) as usize]),
+                    _ => rank.advance_compute(1 + next() % max_flops),
+                }
+            }
+        });
+        let rep = &out.reports[0];
+        prop_assert!(validate_trace(rep).is_ok(), "{:?}", validate_trace(rep));
+        let trace = rep.trace.as_ref().unwrap();
+        for s in &trace.spans {
+            if let Some(p) = s.parent {
+                prop_assert!(trace.spans[p].start <= s.start + 1e-15);
+                prop_assert!(trace.spans[p].end >= s.end - 1e-15);
+            }
+        }
+    }
+}
