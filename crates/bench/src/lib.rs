@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Shared infrastructure for the experiment harness: scale selection, grid
 //! configuration sweeps, and table formatting used by the per-figure
 //! binaries.

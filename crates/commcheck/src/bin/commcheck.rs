@@ -1,0 +1,55 @@
+//! Standalone offline trace linter.
+//!
+//! One trace: lint it (pairing, FIFO, collective participation).
+//! Two traces: additionally check the schedules are identical
+//! (reduction-order determinism across runs).
+//!
+//! Exit status 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use obs::Json;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    let run = || -> Result<bool, String> {
+        match paths.as_slice() {
+            [one] => {
+                let doc = load(one)?;
+                let report = commcheck::lint_trace(&doc)?;
+                print!("{}", report.render());
+                Ok(report.is_clean())
+            }
+            [a, b] => {
+                let (da, db) = (load(a)?, load(b)?);
+                let ra = commcheck::lint_trace(&da)?;
+                let rb = commcheck::lint_trace(&db)?;
+                print!("{}", ra.render());
+                print!("{}", rb.render());
+                let mut clean = ra.is_clean() && rb.is_clean();
+                match commcheck::check_determinism(&da, &db) {
+                    Ok(()) => println!("commcheck determinism: schedules identical"),
+                    Err(why) => {
+                        println!("commcheck determinism: {why}");
+                        clean = false;
+                    }
+                }
+                Ok(clean)
+            }
+            _ => Err("usage: commcheck TRACE.json [SECOND_TRACE.json]".into()),
+        }
+    };
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("commcheck: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

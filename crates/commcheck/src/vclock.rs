@@ -1,0 +1,122 @@
+//! Vector clocks: the happens-before partial order over rank events.
+//!
+//! Every sanitized rank keeps one clock; its own component ticks on each
+//! send and receive, and a receive merges the sender's clock (piggybacked
+//! on the message). Two events are *concurrent* when neither clock
+//! dominates the other — the condition under which two in-flight messages
+//! could legally match a wildcard receive in either order.
+
+/// A vector clock over `n` ranks. Component `i` counts the communication
+/// events rank `i` had performed when the clock was captured.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+/// Outcome of comparing two vector clocks under happens-before.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ordering {
+    /// `self` happens before `other` (strictly dominated).
+    Before,
+    /// `other` happens before `self`.
+    After,
+    /// Identical clocks (same event).
+    Equal,
+    /// Neither dominates: the events are concurrent.
+    Concurrent,
+}
+
+impl VClock {
+    /// The zero clock for a machine of `n` ranks.
+    pub fn new(n: usize) -> Self {
+        VClock(vec![0; n])
+    }
+
+    /// Advance this rank's own component by one event.
+    pub fn tick(&mut self, rank: usize) {
+        self.0[rank] += 1;
+    }
+
+    /// Component-wise maximum: absorb everything `other` has observed.
+    pub fn merge(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Happens-before comparison of the events the clocks were captured at.
+    pub fn compare(&self, other: &VClock) -> Ordering {
+        let mut le = true;
+        let mut ge = true;
+        for (a, b) in self.0.iter().zip(&other.0) {
+            if a > b {
+                le = false;
+            }
+            if a < b {
+                ge = false;
+            }
+        }
+        match (le, ge) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Before,
+            (false, true) => Ordering::After,
+            (false, false) => Ordering::Concurrent,
+        }
+    }
+
+    /// True when neither clock dominates the other.
+    pub fn concurrent_with(&self, other: &VClock) -> bool {
+        self.compare(other) == Ordering::Concurrent
+    }
+
+    /// This rank's own component (event count).
+    pub fn component(&self, rank: usize) -> u64 {
+        self.0[rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_compare_order_events() {
+        let mut a = VClock::new(3);
+        let mut b = VClock::new(3);
+        assert_eq!(a.compare(&b), Ordering::Equal);
+        a.tick(0); // a = [1,0,0]
+        assert_eq!(b.compare(&a), Ordering::Before);
+        assert_eq!(a.compare(&b), Ordering::After);
+        b.tick(1); // b = [0,1,0]: neither dominates
+        assert!(a.concurrent_with(&b));
+        assert!(b.concurrent_with(&a));
+    }
+
+    #[test]
+    fn merge_establishes_happens_before() {
+        // Rank 0 sends to rank 1; rank 1's next event happens after it.
+        let mut sender = VClock::new(2);
+        sender.tick(0); // the send event
+        let mut receiver = VClock::new(2);
+        receiver.merge(&sender);
+        receiver.tick(1); // the receive event
+        assert_eq!(sender.compare(&receiver), Ordering::Before);
+        // A later send by rank 1 is ordered after rank 0's send.
+        receiver.tick(1);
+        assert!(!sender.concurrent_with(&receiver));
+    }
+
+    #[test]
+    fn transitive_chain_is_ordered() {
+        // 0 -> 1 -> 2: rank 0's send and rank 2's send are ordered.
+        let mut c0 = VClock::new(3);
+        c0.tick(0);
+        let mut c1 = VClock::new(3);
+        c1.merge(&c0);
+        c1.tick(1);
+        c1.tick(1); // rank 1 forwards
+        let mut c2 = VClock::new(3);
+        c2.merge(&c1);
+        c2.tick(2);
+        c2.tick(2); // rank 2 sends
+        assert_eq!(c0.compare(&c2), Ordering::Before);
+    }
+}

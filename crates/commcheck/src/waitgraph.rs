@@ -1,0 +1,326 @@
+//! Wait-for-graph deadlock detection for the simulated machine.
+//!
+//! Every rank registers an edge when it blocks in a receive (directly or
+//! inside a collective, which is built on receives): *who* it waits for and
+//! *what* it waits on (ctx, tag, phase). A detector finds the set of ranks
+//! that can never make progress — each waiting only on ranks that are
+//! themselves stuck or finished — and publishes a report naming the exact
+//! cycle, which every blocked rank picks up and aborts with.
+//!
+//! Detection is a two-phase protocol to tolerate in-flight messages: a
+//! candidate stuck set is only *confirmed* if every member is still in the
+//! same blocked episode after a grace period (a message in flight to a
+//! blocked rank wakes it within microseconds, changing its episode).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What a blocked rank is waiting on.
+#[derive(Clone, Debug)]
+pub struct WaitInfo {
+    /// World ranks that could unblock this rank. One element for a
+    /// deterministic `recv(src, ..)`; all other communicator members for a
+    /// wildcard receive.
+    pub targets: Vec<usize>,
+    /// True for a wildcard (any-source) receive: any one target suffices.
+    pub wildcard: bool,
+    pub ctx: u64,
+    pub tag: u64,
+    /// Traffic phase label active on the waiting rank.
+    pub phase: String,
+}
+
+impl WaitInfo {
+    fn describe(&self) -> String {
+        let src = if self.wildcard {
+            "ANY".to_string()
+        } else {
+            self.targets
+                .first()
+                .map(|t| t.to_string())
+                .unwrap_or_default()
+        };
+        format!(
+            "(ctx={}, src={src}, tag={}, phase={})",
+            self.ctx, self.tag, self.phase
+        )
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+enum RankState {
+    #[default]
+    Running,
+    Blocked(WaitInfo),
+    Done,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    state: RankState,
+    /// Bumped on every `block`, so the detector can tell "still in the same
+    /// wait" from "woke up and blocked again".
+    episode: u64,
+}
+
+/// The machine-wide wait-for graph. One per [`Machine::run`]; shared by all
+/// rank threads and the detector.
+#[derive(Debug)]
+pub struct WaitGraph {
+    slots: Mutex<Vec<Slot>>,
+    deadlock: Mutex<Option<String>>,
+    found: AtomicBool,
+}
+
+impl WaitGraph {
+    pub fn new(nranks: usize) -> Self {
+        WaitGraph {
+            slots: Mutex::new((0..nranks).map(|_| Slot::default()).collect()),
+            deadlock: Mutex::new(None),
+            found: AtomicBool::new(false),
+        }
+    }
+
+    /// Register that `rank` is blocking on a receive.
+    pub fn block(&self, rank: usize, info: WaitInfo) {
+        let mut slots = self.slots.lock().unwrap();
+        slots[rank].state = RankState::Blocked(info);
+        slots[rank].episode += 1;
+    }
+
+    /// Register that `rank` found its message and resumed.
+    pub fn unblock(&self, rank: usize) {
+        let mut slots = self.slots.lock().unwrap();
+        slots[rank].state = RankState::Running;
+    }
+
+    /// Register that `rank`'s SPMD closure returned (or panicked): it will
+    /// never send again.
+    pub fn mark_done(&self, rank: usize) {
+        let mut slots = self.slots.lock().unwrap();
+        slots[rank].state = RankState::Done;
+    }
+
+    /// The confirmed deadlock report, if the detector found one. Cheap to
+    /// poll: a relaxed atomic guards the lock.
+    pub fn deadlock_report(&self) -> Option<String> {
+        if !self.found.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.deadlock.lock().unwrap().clone()
+    }
+
+    /// One line per rank: Running / Done / Blocked on what. This is the
+    /// wait-for-graph state named by the receive-timeout backstop message.
+    pub fn dump(&self) -> String {
+        let slots = self.slots.lock().unwrap();
+        let mut out = String::from("wait-for graph:\n");
+        for (r, s) in slots.iter().enumerate() {
+            match &s.state {
+                RankState::Running => out.push_str(&format!("  rank {r}: running\n")),
+                RankState::Done => out.push_str(&format!("  rank {r}: finished\n")),
+                RankState::Blocked(w) => {
+                    out.push_str(&format!("  rank {r}: blocked in recv {}\n", w.describe()))
+                }
+            }
+        }
+        out
+    }
+
+    /// Find the candidate stuck set: blocked ranks all of whose wait
+    /// targets are finished or themselves in the set (greatest fixed
+    /// point). Members can never be unblocked — unless a message to one of
+    /// them is still in flight, which [`WaitGraph::run_detector`] rules out
+    /// by re-checking episodes after a grace period.
+    fn candidate_stuck(&self) -> Vec<(usize, u64)> {
+        let slots = self.slots.lock().unwrap();
+        let n = slots.len();
+        let mut stuck: Vec<bool> = slots
+            .iter()
+            .map(|s| matches!(s.state, RankState::Blocked(_)))
+            .collect();
+        let done: Vec<bool> = slots
+            .iter()
+            .map(|s| matches!(s.state, RankState::Done))
+            .collect();
+        loop {
+            let mut changed = false;
+            for r in 0..n {
+                if !stuck[r] {
+                    continue;
+                }
+                let RankState::Blocked(w) = &slots[r].state else {
+                    unreachable!()
+                };
+                // A rank stays in the set only if every potential sender
+                // can never send again. (For a deterministic receive there
+                // is exactly one target; for a wildcard, all of them.)
+                let hopeless = w.targets.iter().all(|&t| done[t] || stuck[t]);
+                if !hopeless {
+                    stuck[r] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        (0..n)
+            .filter(|&r| stuck[r])
+            .map(|r| (r, slots[r].episode))
+            .collect()
+    }
+
+    /// Format the confirmed stuck set as the abort report.
+    fn format_deadlock(&self, members: &[(usize, u64)]) -> String {
+        let slots = self.slots.lock().unwrap();
+        let mut out = format!(
+            "deadlock detected: {} rank(s) can never make progress\n",
+            members.len()
+        );
+        for &(r, _) in members {
+            if let RankState::Blocked(w) = &slots[r].state {
+                let waits: Vec<String> = w.targets.iter().map(|t| t.to_string()).collect();
+                out.push_str(&format!(
+                    "  rank {r} blocked in recv {} waiting on rank(s) {}\n",
+                    w.describe(),
+                    waits.join(",")
+                ));
+            }
+        }
+        out
+    }
+
+    /// Detector loop: scan for a candidate stuck set, confirm it after a
+    /// grace period (same members, same blocked episodes), then publish the
+    /// report for blocked ranks to abort with. Runs until `stop` is set or
+    /// a deadlock is confirmed. The machine owns this on a dedicated
+    /// `commcheck-detector` thread when the sanitizer is enabled.
+    pub fn run_detector(&self, stop: &AtomicBool) {
+        const SCAN: Duration = Duration::from_millis(10);
+        const GRACE: Duration = Duration::from_millis(50);
+        while !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(SCAN);
+            let candidate = self.candidate_stuck();
+            if candidate.is_empty() {
+                continue;
+            }
+            // Grace period: any in-flight message to a member wakes it and
+            // bumps its episode (or unblocks it outright).
+            std::thread::sleep(GRACE);
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let confirmed = self.candidate_stuck();
+            if confirmed == candidate {
+                let report = self.format_deadlock(&confirmed);
+                *self.deadlock.lock().unwrap() = Some(report);
+                self.found.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wait(targets: Vec<usize>, ctx: u64, tag: u64) -> WaitInfo {
+        WaitInfo {
+            targets,
+            wildcard: false,
+            ctx,
+            tag,
+            phase: "fact".into(),
+        }
+    }
+
+    #[test]
+    fn cross_recv_cycle_is_stuck() {
+        let g = WaitGraph::new(2);
+        g.block(0, wait(vec![1], 0, 5));
+        g.block(1, wait(vec![0], 0, 6));
+        let stuck = g.candidate_stuck();
+        assert_eq!(stuck.iter().map(|s| s.0).collect::<Vec<_>>(), vec![0, 1]);
+        let rep = g.format_deadlock(&stuck);
+        assert!(rep.contains("rank 0"), "{rep}");
+        assert!(rep.contains("tag=5"), "{rep}");
+        assert!(rep.contains("tag=6"), "{rep}");
+        assert!(rep.contains("phase=fact"), "{rep}");
+    }
+
+    #[test]
+    fn waiting_on_running_rank_is_not_stuck() {
+        let g = WaitGraph::new(3);
+        g.block(0, wait(vec![1], 0, 1));
+        g.block(1, wait(vec![2], 0, 1));
+        // Rank 2 is running: the chain can still drain.
+        assert!(g.candidate_stuck().is_empty());
+    }
+
+    #[test]
+    fn waiting_on_finished_rank_is_stuck() {
+        let g = WaitGraph::new(2);
+        g.mark_done(1);
+        g.block(0, wait(vec![1], 0, 9));
+        let stuck = g.candidate_stuck();
+        assert_eq!(stuck.len(), 1);
+        assert_eq!(stuck[0].0, 0);
+    }
+
+    #[test]
+    fn wildcard_needs_all_targets_hopeless() {
+        let g = WaitGraph::new(3);
+        let mut w = wait(vec![1, 2], 0, 1);
+        w.wildcard = true;
+        g.block(0, w);
+        g.mark_done(1);
+        // Rank 2 still running: the wildcard could still be satisfied.
+        assert!(g.candidate_stuck().is_empty());
+        g.mark_done(2);
+        assert_eq!(g.candidate_stuck().len(), 1);
+    }
+
+    #[test]
+    fn unblock_clears_the_edge_and_episode_advances() {
+        let g = WaitGraph::new(2);
+        g.block(0, wait(vec![1], 0, 1));
+        g.mark_done(1);
+        let before = g.candidate_stuck();
+        assert_eq!(before.len(), 1);
+        g.unblock(0);
+        assert!(g.candidate_stuck().is_empty());
+        g.block(0, wait(vec![1], 0, 2));
+        let after = g.candidate_stuck();
+        assert_eq!(after.len(), 1);
+        assert_ne!(before[0].1, after[0].1, "episode must advance");
+    }
+
+    #[test]
+    fn detector_confirms_and_publishes() {
+        let g = std::sync::Arc::new(WaitGraph::new(2));
+        g.block(0, wait(vec![1], 7, 5));
+        g.block(1, wait(vec![0], 7, 6));
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let (g2, s2) = (std::sync::Arc::clone(&g), std::sync::Arc::clone(&stop));
+        let h = std::thread::spawn(move || g2.run_detector(&s2));
+        h.join().unwrap();
+        let rep = g.deadlock_report().expect("deadlock must be confirmed");
+        assert!(rep.contains("deadlock detected"), "{rep}");
+        assert!(rep.contains("ctx=7"), "{rep}");
+    }
+
+    #[test]
+    fn dump_names_every_rank_state() {
+        let g = WaitGraph::new(3);
+        g.block(1, wait(vec![2], 0, 4));
+        g.mark_done(2);
+        let d = g.dump();
+        assert!(d.contains("rank 0: running"), "{d}");
+        assert!(d.contains("rank 1: blocked in recv"), "{d}");
+        assert!(d.contains("src=2"), "{d}");
+        assert!(d.contains("rank 2: finished"), "{d}");
+    }
+}

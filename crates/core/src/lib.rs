@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! The paper's contribution: a communication-avoiding 3D sparse LU
 //! factorization (Sao, Li, Vuduc; IPDPS 2018).
 //!

@@ -169,6 +169,19 @@ pub fn solve_3d(
     x_out
 }
 
+/// All supernodes in the ancestor chain above level `lvl` for grid `z`,
+/// ascending.
+fn ancestor_supernodes(forest: &EtreeForest, sym: &Symbolic, z: usize, lvl: usize) -> Vec<usize> {
+    let l = forest.l;
+    let mut out = Vec::new();
+    for la in 0..lvl {
+        let qa = z >> (l - la);
+        out.extend(forest.supernodes_of(la, qa, &sym.part));
+    }
+    out.sort_unstable();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use crate::solver::{factor_and_solve, SolveStrategy, SolverConfig};
@@ -266,17 +279,4 @@ mod tests {
         let solve_words = simgrid::TrafficSummary::max_sent_words_in(&solved.reports, "solve");
         assert!(solve_words > 0);
     }
-}
-
-/// All supernodes in the ancestor chain above level `lvl` for grid `z`,
-/// ascending.
-fn ancestor_supernodes(forest: &EtreeForest, sym: &Symbolic, z: usize, lvl: usize) -> Vec<usize> {
-    let l = forest.l;
-    let mut out = Vec::new();
-    for la in 0..lvl {
-        let qa = z >> (l - la);
-        out.extend(forest.supernodes_of(la, qa, &sym.part));
-    }
-    out.sort_unstable();
-    out
 }

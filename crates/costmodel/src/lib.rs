@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Analytical cost models from the paper's Section IV (Table II).
 //!
 //! These closed-form expressions predict per-process memory (`M`),

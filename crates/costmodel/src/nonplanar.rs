@@ -124,7 +124,7 @@ mod tests {
     fn best_pz_is_interior() {
         let m = NonPlanarModel::new(1e7, 1e4);
         let pz = m.best_pz_for_comm(128);
-        assert!(pz >= 2 && pz <= 16, "pz={pz}");
+        assert!((2..=16).contains(&pz), "pz={pz}");
     }
 
     #[test]

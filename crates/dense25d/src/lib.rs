@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! 2.5D dense matrix multiplication on the simulated machine.
 //!
 //! The paper's 3D sparse LU is "inspired by the 2.5D dense LU algorithm"

@@ -1,5 +1,6 @@
 // Indexing loops are the clearer idiom in numeric kernel code.
 #![allow(clippy::needless_range_loop)]
+#![forbid(unsafe_code)]
 
 //! Dense linear-algebra substrate: the BLAS/LAPACK proxy used by the sparse
 //! LU factorization stack.

@@ -20,7 +20,7 @@ pub fn chrome_trace(obs: &[RankObs]) -> Json {
         .iter()
         .flat_map(|r| r.activities.iter())
         .filter(|a| a.kind == ActivityKind::Recv)
-        .filter_map(|a| a.msg_uid)
+        .filter_map(|a| a.msg_uid())
         .collect();
 
     for r in obs {
@@ -57,6 +57,14 @@ pub fn chrome_trace(obs: &[RankObs]) -> Json {
             if a.words > 0 {
                 args.push(("words".into(), Json::num(a.words as f64)));
             }
+            // Message identity for the offline commcheck linter: pairing,
+            // FIFO order, and collective participation are all derived
+            // from (uid, ctx, tag).
+            if let Some(m) = a.msg {
+                args.push(("uid".into(), Json::num(m.uid as f64)));
+                args.push(("ctx".into(), Json::num(m.ctx as f64)));
+                args.push(("tag".into(), Json::num(m.tag as f64)));
+            }
             events.push(Json::Obj(vec![
                 ("ph".into(), Json::str("X")),
                 ("name".into(), Json::str(a.kind.as_str())),
@@ -69,7 +77,7 @@ pub fn chrome_trace(obs: &[RankObs]) -> Json {
             ]));
             // Flow arrows: start at the middle of the send slice, finish at
             // the middle of the recv slice ("e" binds to the enclosing X).
-            if let Some(uid) = a.msg_uid {
+            if let Some(uid) = a.msg_uid() {
                 let (ph, extra): (&str, Option<(&str, Json)>) = match a.kind {
                     ActivityKind::Send if received.contains(&uid) => ("s", None),
                     ActivityKind::Recv => ("f", Some(("bp", Json::str("e")))),
@@ -219,7 +227,7 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<ChromeTraceStats, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::span::{ActivityKind, Recorder, SpanCat};
+    use crate::span::{ActivityKind, MsgInfo, Recorder, SpanCat};
 
     fn two_rank_obs() -> Vec<RankObs> {
         let mut r0 = Recorder::new(0);
@@ -227,7 +235,18 @@ mod tests {
         let ph = r0.enter(SpanCat::Phase, "fact", 0.0);
         let node = r0.enter(SpanCat::Node, "sn0", 0.0);
         r0.activity(ActivityKind::Compute, 0.0, 2.0, None, 0, None);
-        r0.activity(ActivityKind::Send, 2.0, 2.5, Some(1), 16, Some(7));
+        r0.activity(
+            ActivityKind::Send,
+            2.0,
+            2.5,
+            Some(1),
+            16,
+            Some(MsgInfo {
+                uid: 7,
+                ctx: 0,
+                tag: 3,
+            }),
+        );
         r0.exit(node, 2.5);
         r0.exit(ph, 2.5);
         r0.exit(lvl, 2.5);
@@ -235,7 +254,18 @@ mod tests {
         let mut r1 = Recorder::new(1);
         let ph1 = r1.enter(SpanCat::Phase, "fact", 0.0);
         r1.activity(ActivityKind::Wait, 0.0, 2.5, Some(0), 0, None);
-        r1.activity(ActivityKind::Recv, 2.5, 3.0, Some(0), 16, Some(7));
+        r1.activity(
+            ActivityKind::Recv,
+            2.5,
+            3.0,
+            Some(0),
+            16,
+            Some(MsgInfo {
+                uid: 7,
+                ctx: 0,
+                tag: 3,
+            }),
+        );
         r1.exit(ph1, 3.0);
         vec![r0.finish(2.5), r1.finish(3.0)]
     }
@@ -262,7 +292,18 @@ mod tests {
     #[test]
     fn unreceived_send_gets_no_flow_start() {
         let mut r0 = Recorder::new(0);
-        r0.activity(ActivityKind::Send, 0.0, 1.0, Some(1), 8, Some(99));
+        r0.activity(
+            ActivityKind::Send,
+            0.0,
+            1.0,
+            Some(1),
+            8,
+            Some(MsgInfo {
+                uid: 99,
+                ctx: 0,
+                tag: 1,
+            }),
+        );
         let doc = chrome_trace(&[r0.finish(1.0)]);
         let stats = validate_chrome_trace(&doc).unwrap();
         assert_eq!(stats.flow_pairs, 0);

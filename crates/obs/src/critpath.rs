@@ -82,7 +82,7 @@ impl CriticalPath {
             total_acts += r.activities.len();
             for (ai, a) in r.activities.iter().enumerate() {
                 if a.kind == ActivityKind::Send {
-                    if let Some(uid) = a.msg_uid {
+                    if let Some(uid) = a.msg_uid() {
                         sends.insert(uid, (ri, ai));
                     }
                 }
@@ -149,7 +149,7 @@ impl CriticalPath {
             // Arrival-bound receive: the receiver became ready exactly when
             // the message landed, so the chain continues on the sender.
             if a.kind == ActivityKind::Recv {
-                if let Some((srank, sidx)) = a.msg_uid.and_then(|u| sends.get(&u)).copied() {
+                if let Some((srank, sidx)) = a.msg_uid().and_then(|u| sends.get(&u)).copied() {
                     let s_end = obs[srank].activities[sidx].end;
                     if (s_end - a.start).abs() <= EPS * (1.0 + s_end.abs()) && srank != cur_rank {
                         cur_rank = srank;
@@ -257,6 +257,15 @@ impl CriticalPath {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::span::MsgInfo;
+
+    fn mi(uid: u64) -> Option<MsgInfo> {
+        Some(MsgInfo {
+            uid,
+            ctx: 0,
+            tag: 1,
+        })
+    }
     use crate::span::{ActivityKind, Recorder, SpanCat};
 
     /// r0: compute [0,2], send [2,2.5] (uid 7). r1: wait [0,2.5],
@@ -265,12 +274,12 @@ mod tests {
         let mut r0 = Recorder::new(0);
         let ph = r0.enter(SpanCat::Phase, "fact", 0.0);
         r0.activity(ActivityKind::Compute, 0.0, 2.0, None, 0, None);
-        r0.activity(ActivityKind::Send, 2.0, 2.5, Some(1), 16, Some(7));
+        r0.activity(ActivityKind::Send, 2.0, 2.5, Some(1), 16, mi(7));
         r0.exit(ph, 2.5);
         let mut r1 = Recorder::new(1);
         let ph1 = r1.enter(SpanCat::Phase, "fact", 0.0);
         r1.activity(ActivityKind::Wait, 0.0, 2.5, Some(0), 0, None);
-        r1.activity(ActivityKind::Recv, 2.5, 3.0, Some(0), 16, Some(7));
+        r1.activity(ActivityKind::Recv, 2.5, 3.0, Some(0), 16, mi(7));
         r1.exit(ph1, 3.0);
         vec![r0.finish(2.5), r1.finish(3.0)]
     }
@@ -298,11 +307,11 @@ mod tests {
     fn self_bound_recv_stays_local() {
         // r1 computes past the arrival; the path never leaves r1.
         let mut r0 = Recorder::new(0);
-        r0.activity(ActivityKind::Send, 0.0, 0.5, Some(1), 8, Some(9));
+        r0.activity(ActivityKind::Send, 0.0, 0.5, Some(1), 8, mi(9));
         let mut r1 = Recorder::new(1);
         let ph = r1.enter(SpanCat::Phase, "solve", 0.0);
         r1.activity(ActivityKind::Compute, 0.0, 4.0, None, 0, None);
-        r1.activity(ActivityKind::Recv, 4.0, 4.5, Some(0), 8, Some(9));
+        r1.activity(ActivityKind::Recv, 4.0, 4.5, Some(0), 8, mi(9));
         r1.exit(ph, 4.5);
         let cp = CriticalPath::analyze(&[r0.finish(0.5), r1.finish(4.5)]);
         assert_eq!(cp.rank_hops, 0);

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Observability for the simulated 3D LU stack: hierarchical span tracing,
 //! a cross-crate metrics registry, Chrome trace export, and critical-path
 //! attribution.
@@ -48,4 +50,4 @@ pub use chrome::{chrome_trace, validate_chrome_trace, ChromeTraceStats};
 pub use critpath::{CritSegment, CriticalPath, SegKind};
 pub use json::Json;
 pub use metrics::{Histogram, MetricsRegistry};
-pub use span::{Activity, ActivityKind, RankObs, Recorder, SpanCat, SpanId, SpanRecord};
+pub use span::{Activity, ActivityKind, MsgInfo, RankObs, Recorder, SpanCat, SpanId, SpanRecord};

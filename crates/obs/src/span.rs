@@ -90,6 +90,18 @@ impl ActivityKind {
     }
 }
 
+/// Identity of the message behind a point-to-point activity: the
+/// machine-unique id linking a Send to its Recv, plus the communicator
+/// context and tag the message was matched under. The offline trace
+/// linter (`commcheck`) reconstructs send↔recv pairing and per-`(ctx,
+/// tag)` FIFO order from these fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgInfo {
+    pub uid: u64,
+    pub ctx: u64,
+    pub tag: u64,
+}
+
 /// One machine-level interval of simulated time.
 #[derive(Clone, Copy, Debug)]
 pub struct Activity {
@@ -103,13 +115,18 @@ pub struct Activity {
     pub peer: Option<usize>,
     /// Payload size in 8-byte words (communication activities).
     pub words: u64,
-    /// Machine-unique message id linking a Send to its Recv.
-    pub msg_uid: Option<u64>,
+    /// Message identity linking a Send to its Recv (uid + ctx + tag).
+    pub msg: Option<MsgInfo>,
 }
 
 impl Activity {
     pub fn duration(&self) -> f64 {
         self.end - self.start
+    }
+
+    /// Machine-unique message id, when this is a point-to-point activity.
+    pub fn msg_uid(&self) -> Option<u64> {
+        self.msg.map(|m| m.uid)
     }
 }
 
@@ -220,17 +237,17 @@ impl Recorder {
         end: f64,
         peer: Option<usize>,
         words: u64,
-        msg_uid: Option<u64>,
+        msg: Option<MsgInfo>,
     ) {
         if end <= start {
             return;
         }
         let span = self.current();
-        if msg_uid.is_none() {
+        if msg.is_none() {
             if let Some(last) = self.activities.last_mut() {
                 if last.kind == kind
                     && last.span == span
-                    && last.msg_uid.is_none()
+                    && last.msg.is_none()
                     && last.peer == peer
                     && (start - last.end).abs() < 1e-15
                 {
@@ -247,7 +264,7 @@ impl Recorder {
             span,
             peer,
             words,
-            msg_uid,
+            msg,
         });
     }
 
@@ -330,12 +347,34 @@ mod tests {
             );
         }
         // A send never merges (it must keep its msg uid).
-        r.activity(ActivityKind::Send, 10.0, 11.0, Some(1), 8, Some(42));
-        r.activity(ActivityKind::Send, 11.0, 12.0, Some(1), 8, Some(43));
+        r.activity(
+            ActivityKind::Send,
+            10.0,
+            11.0,
+            Some(1),
+            8,
+            Some(MsgInfo {
+                uid: 42,
+                ctx: 0,
+                tag: 1,
+            }),
+        );
+        r.activity(
+            ActivityKind::Send,
+            11.0,
+            12.0,
+            Some(1),
+            8,
+            Some(MsgInfo {
+                uid: 43,
+                ctx: 0,
+                tag: 1,
+            }),
+        );
         let obs = r.finish(12.0);
         assert_eq!(obs.activities.len(), 3);
         assert_eq!(obs.activities[0].duration(), 10.0);
-        assert_eq!(obs.activities[1].msg_uid, Some(42));
+        assert_eq!(obs.activities[1].msg_uid(), Some(42));
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Fill-reducing ordering substrate: the METIS substitute.
 //!
 //! The paper orders matrices with METIS nested dissection before

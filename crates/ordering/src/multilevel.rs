@@ -164,7 +164,7 @@ mod tests {
         let g = Graph::from_matrix(&grid2d_5pt(10, 10, 0.0, 0));
         let mut rng = StdRng::seed_from_u64(1);
         let (map, nc) = heavy_edge_matching(&g, &mut rng);
-        assert!(nc >= 50 && nc <= 70, "nc={nc}");
+        assert!((50..=70).contains(&nc), "nc={nc}");
         // Weight conservation in contraction.
         let cg = contract(&g, &map, nc);
         assert_eq!(cg.total_vwgt(), 100);

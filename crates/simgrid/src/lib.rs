@@ -1,5 +1,6 @@
 // Indexing loops are the clearer idiom in numeric kernel code.
 #![allow(clippy::needless_range_loop)]
+#![forbid(unsafe_code)]
 
 //! Simulated distributed-memory machine: the MPI substrate for the sparse
 //! LU reproduction.
@@ -66,3 +67,7 @@ pub use trace::{render_gantt, validate_trace};
 // critical-path analysis (see the `obs` crate).
 pub use obs;
 pub use obs::{ActivityKind, CriticalPath, Json, MetricsRegistry, RankObs, SpanCat, SpanId};
+// Communication sanitizer: race/deadlock/leak detection online
+// ([`Machine::with_sanitizer`]) and the offline trace linter.
+pub use commcheck;
+pub use commcheck::{CommReport, Finding};

@@ -4,8 +4,10 @@
 use crate::rank::{Msg, Rank};
 use crate::stats::{merged_metrics, RankReport, TrafficSummary};
 use crate::timemodel::TimeModel;
+use commcheck::{CommReport, SanState, WaitGraph};
 use crossbeam::channel::{unbounded, Sender};
 use obs::{CriticalPath, Json, MetricsRegistry, RankObs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -17,6 +19,7 @@ pub struct Machine {
     nranks: usize,
     model: TimeModel,
     tracing: bool,
+    sanitize: bool,
 }
 
 /// The outcome of one SPMD run.
@@ -26,6 +29,39 @@ pub struct RunResult<T> {
     pub results: Vec<T>,
     /// Per-rank traffic/time reports, indexed by world rank.
     pub reports: Vec<RankReport>,
+    /// Communication-correctness report (races, leaks, counts), `None`
+    /// unless the machine ran with [`Machine::with_sanitizer`].
+    pub sanitizer: Option<CommReport>,
+}
+
+/// Marks a rank finished in the wait-for graph when its thread exits —
+/// normally or by panic — so the deadlock detector knows it will never
+/// send again.
+struct DoneGuard {
+    graph: Arc<WaitGraph>,
+    rank: usize,
+}
+
+impl Drop for DoneGuard {
+    fn drop(&mut self) {
+        self.graph.mark_done(self.rank);
+    }
+}
+
+/// Stops and joins the detector thread, even when a rank panic unwinds
+/// through [`Machine::run`]'s join loop.
+struct DetectorGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for DetectorGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 impl<T> RunResult<T> {
@@ -70,6 +106,7 @@ impl Machine {
             nranks,
             model,
             tracing: false,
+            sanitize: false,
         }
     }
 
@@ -77,6 +114,17 @@ impl Machine {
     /// proportional to the number of operations; off by default.
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Enable the communication sanitizer (see the `commcheck` crate):
+    /// vector clocks on every message for wildcard-receive race detection,
+    /// an outstanding-send table for leak accounting, and a wait-for-graph
+    /// deadlock detector that aborts a deadlocked run within ~100ms naming
+    /// the exact cycle. Off by default — then no clocks are allocated, no
+    /// table is kept, and no detector thread runs.
+    pub fn with_sanitizer(mut self) -> Self {
+        self.sanitize = true;
         self
     }
 
@@ -111,18 +159,50 @@ impl Machine {
         let model = self.model;
         let tracing = self.tracing;
 
+        // The wait-for graph always exists (it feeds the receive-timeout
+        // backstop's dump); the sanitizer state and its detector thread are
+        // created only on demand.
+        let wait_graph = Arc::new(WaitGraph::new(n));
+        let san: Option<Arc<SanState>> = if self.sanitize {
+            Some(Arc::new(SanState::new()))
+        } else {
+            None
+        };
+        let _detector = san.as_ref().map(|_| {
+            let graph = Arc::clone(&wait_graph);
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop2 = Arc::clone(&stop);
+            let handle = std::thread::Builder::new()
+                .name("commcheck-detector".to_string())
+                .spawn(move || graph.run_detector(&stop2))
+                .expect("failed to spawn deadlock detector");
+            DetectorGuard {
+                stop,
+                handle: Some(handle),
+            }
+        });
+
         let mut handles = Vec::with_capacity(n);
         for (world_rank, inbox) in receivers.into_iter().enumerate() {
             let senders = Arc::clone(&senders);
             let f = Arc::clone(&f);
+            let graph = Arc::clone(&wait_graph);
+            let san = san.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("simrank-{world_rank}"))
                 // Factorization recursion and big local buffers: give each
                 // simulated rank a roomy stack.
                 .stack_size(16 << 20)
                 .spawn(move || {
+                    // Declared first so it drops last: the rank is marked
+                    // done (never sends again) even on panic.
+                    let _done = DoneGuard {
+                        graph: Arc::clone(&graph),
+                        rank: world_rank,
+                    };
                     let started = Instant::now();
-                    let mut rank = Rank::new(world_rank, n, senders, inbox, model, tracing);
+                    let mut rank =
+                        Rank::new(world_rank, n, senders, inbox, model, tracing, graph, san);
                     let out = f(&mut rank);
                     let wall = started.elapsed().as_secs_f64();
                     (out, rank.into_report(wall))
@@ -149,7 +229,18 @@ impl Machine {
                 }
             }
         }
-        RunResult { results, reports }
+        // All rank threads are joined: nothing is in flight, so whatever is
+        // still in the outstanding table is a genuine leak.
+        let sanitizer = san.map(|s| {
+            Arc::try_unwrap(s)
+                .expect("sanitizer state still shared after join")
+                .into_report()
+        });
+        RunResult {
+            results,
+            reports,
+            sanitizer,
+        }
     }
 }
 

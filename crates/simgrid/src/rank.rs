@@ -5,16 +5,21 @@ use crate::comm::Comm;
 use crate::payload::Payload;
 use crate::stats::{PhaseCounter, RankReport};
 use crate::timemodel::TimeModel;
+use commcheck::{SanState, SendRec, VClock, WaitGraph, WaitInfo};
 use crossbeam::channel::{Receiver, Sender};
-use obs::{ActivityKind, MetricsRegistry, Recorder, SpanCat, SpanId};
+use obs::{ActivityKind, MetricsRegistry, MsgInfo, Recorder, SpanCat, SpanId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a blocking receive waits before declaring the run deadlocked.
 /// Generous enough for heavily oversubscribed benchmark runs, small enough
 /// that a protocol bug fails a test instead of hanging CI forever. Override
 /// with `SALU_RECV_TIMEOUT_SECS` for very large oversubscribed runs.
+///
+/// This is only the backstop: with the sanitizer enabled
+/// ([`crate::Machine::with_sanitizer`]) a deadlock is detected within
+/// ~100ms by the wait-for-graph detector and aborts with the exact cycle.
 fn recv_timeout() -> Duration {
     static SECS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
     let secs = *SECS.get_or_init(|| {
@@ -25,6 +30,10 @@ fn recv_timeout() -> Duration {
     });
     Duration::from_secs(secs)
 }
+
+/// Granularity at which a blocked receive polls for a published deadlock
+/// report (and for the timeout deadline).
+const BLOCK_SLICE: Duration = Duration::from_millis(20);
 
 /// A message in flight.
 #[derive(Debug)]
@@ -37,6 +46,9 @@ pub(crate) struct Msg {
     /// Machine-unique id linking this message's send and recv trace
     /// activities (high bits: sender world rank; low bits: send sequence).
     pub uid: u64,
+    /// Sender's vector clock at the send, piggybacked when the sanitizer is
+    /// on. `None` (no allocation, no work) otherwise.
+    pub clock: Option<Box<VClock>>,
     pub payload: Payload,
 }
 
@@ -70,9 +82,18 @@ pub struct Rank {
     /// Always-on counters/gauges/histograms; merged across ranks after the
     /// run.
     metrics: MetricsRegistry,
+    /// Machine-wide wait-for graph; touched only when a receive actually
+    /// blocks on the channel, so the fast path costs nothing.
+    wait_graph: Arc<WaitGraph>,
+    /// Online sanitizer state, present when the machine runs with
+    /// [`crate::Machine::with_sanitizer`].
+    san: Option<Arc<SanState>>,
+    /// This rank's vector clock (happens-before), present iff `san` is.
+    vclock: Option<VClock>,
 }
 
 impl Rank {
+    #[allow(clippy::too_many_arguments)] // crate-internal; called once from Machine::run
     pub(crate) fn new(
         world_rank: usize,
         world_size: usize,
@@ -80,6 +101,8 @@ impl Rank {
         inbox: Receiver<Msg>,
         model: TimeModel,
         tracing: bool,
+        wait_graph: Arc<WaitGraph>,
+        san: Option<Arc<SanState>>,
     ) -> Self {
         Rank {
             world_rank,
@@ -104,6 +127,9 @@ impl Rank {
             },
             phase_span: None,
             metrics: MetricsRegistry::default(),
+            wait_graph,
+            vclock: san.as_ref().map(|_| VClock::new(world_size)),
+            san,
         }
     }
 
@@ -116,10 +142,10 @@ impl Rank {
         end: f64,
         peer: Option<usize>,
         words: u64,
-        msg_uid: Option<u64>,
+        msg: Option<MsgInfo>,
     ) {
         if let Some(rec) = &mut self.rec {
-            rec.activity(kind, start, end, peer, words, msg_uid);
+            rec.activity(kind, start, end, peer, words, msg);
         }
     }
 
@@ -260,7 +286,11 @@ impl Rank {
             self.clock,
             Some(dst_world),
             words,
-            Some(uid),
+            Some(MsgInfo {
+                uid,
+                ctx: comm.ctx,
+                tag,
+            }),
         );
         self.metrics.inc("msg.sent", 1);
         self.metrics.observe("msg.send_words", words as f64);
@@ -269,12 +299,34 @@ impl Rank {
             c.sent_msgs += 1;
             c.sent_words += words;
         }
+        // Sanitizer: the send is an event — tick, register in the
+        // outstanding table, and piggyback the clock on the message.
+        let clock = match (&self.san, &mut self.vclock) {
+            (Some(san), Some(vc)) => {
+                vc.tick(self.world_rank);
+                san.on_send(
+                    uid,
+                    SendRec {
+                        src: self.world_rank,
+                        dst: dst_world,
+                        ctx: comm.ctx,
+                        tag,
+                        words,
+                        phase: self.phase.clone(),
+                        clock: vc.clone(),
+                    },
+                );
+                Some(Box::new(vc.clone()))
+            }
+            _ => None,
+        };
         let msg = Msg {
             src_world: self.world_rank,
             ctx: comm.ctx,
             tag,
             arrival: self.clock,
             uid,
+            clock,
             payload,
         };
         self.senders[dst_world]
@@ -282,34 +334,86 @@ impl Rank {
             .expect("simulated machine shut down while sending");
     }
 
-    /// Blocking receive of the message from local rank `src` of `comm` with
-    /// `tag`. Advances this rank's clock to at least the message arrival
-    /// time plus the transfer charge; waiting time counts as communication.
-    ///
-    /// Panics after a generous timeout — a deadlock is always a bug in the
-    /// SPMD protocol, and failing loudly beats hanging the test suite.
-    pub fn recv(&mut self, comm: &Comm, src: usize, tag: u64) -> Payload {
-        let src_world = comm.world_rank_of(src);
-        let key = (comm.ctx, src_world, tag);
+    /// Buffer a message that did not match the receive in progress.
+    fn stash(&mut self, m: Msg) {
+        self.pending
+            .entry((m.ctx, m.src_world, m.tag))
+            .or_default()
+            .push_back(m);
+    }
+
+    fn pop_pending(&mut self, key: (u64, usize, u64)) -> Option<Msg> {
+        self.pending.get_mut(&key).and_then(|q| q.pop_front())
+    }
+
+    /// Wait on the inbox for a message satisfying `accept`, buffering
+    /// everything else. The caller has already checked `pending`. While
+    /// genuinely blocked (channel empty), this rank is registered in the
+    /// machine's wait-for graph: the deadlock detector reads it, and a
+    /// confirmed deadlock published there aborts the wait immediately with
+    /// the cycle report. The receive timeout stays as a backstop and its
+    /// panic names the whole wait-for-graph state.
+    fn blocked_recv(
+        &mut self,
+        ctx: u64,
+        tag: u64,
+        targets: Vec<usize>,
+        wildcard: bool,
+        accept: impl Fn(&Msg) -> bool,
+    ) -> Msg {
+        // Fast path: drain whatever is already queued without blocking.
+        while let Ok(m) = self.inbox.try_recv() {
+            if accept(&m) {
+                return m;
+            }
+            self.stash(m);
+        }
+        let src_desc = if wildcard {
+            "ANY".to_string()
+        } else {
+            targets.first().map(|t| t.to_string()).unwrap_or_default()
+        };
+        self.wait_graph.block(
+            self.world_rank,
+            WaitInfo {
+                targets,
+                wildcard,
+                ctx,
+                tag,
+                phase: self.phase.clone(),
+            },
+        );
+        let deadline = Instant::now() + recv_timeout();
         let msg = loop {
-            if let Some(q) = self.pending.get_mut(&key) {
-                if let Some(m) = q.pop_front() {
-                    break m;
+            if let Some(report) = self.wait_graph.deadlock_report() {
+                panic!("rank {}: aborted by commcheck\n{report}", self.world_rank);
+            }
+            match self.inbox.recv_timeout(BLOCK_SLICE) {
+                Ok(m) if accept(&m) => break m,
+                Ok(m) => self.stash(m),
+                Err(_) => {
+                    if Instant::now() >= deadline {
+                        panic!(
+                            "rank {}: recv timeout waiting for (ctx={}, src={}, tag={})\n{}",
+                            self.world_rank,
+                            ctx,
+                            src_desc,
+                            tag,
+                            self.wait_graph.dump()
+                        );
+                    }
                 }
             }
-            let m = self.inbox.recv_timeout(recv_timeout()).unwrap_or_else(|_| {
-                panic!(
-                    "rank {}: recv timeout waiting for (ctx={}, src={}, tag={})",
-                    self.world_rank, comm.ctx, src_world, tag
-                )
-            });
-            let mkey = (m.ctx, m.src_world, m.tag);
-            if mkey == key {
-                break m;
-            }
-            self.pending.entry(mkey).or_default().push_back(m);
         };
+        self.wait_graph.unblock(self.world_rank);
+        msg
+    }
 
+    /// Receiver-side accounting shared by [`Rank::recv`] and
+    /// [`Rank::recv_any`]: clock advance, trace activities, traffic
+    /// counters, and the sanitizer's clock merge.
+    fn complete_recv(&mut self, msg: Msg) -> Payload {
+        let src_world = msg.src_world;
         let words = msg.payload.words();
         // Receiver-side charge: wait until the message is available, then
         // pay the transfer cost.
@@ -333,7 +437,11 @@ impl Rank {
             done,
             Some(src_world),
             words,
-            Some(msg.uid),
+            Some(MsgInfo {
+                uid: msg.uid,
+                ctx: msg.ctx,
+                tag: msg.tag,
+            }),
         );
         self.clock = done;
         {
@@ -341,7 +449,85 @@ impl Rank {
             c.recv_msgs += 1;
             c.recv_words += words;
         }
+        // Sanitizer: absorb the sender's clock (this receive happens after
+        // the send), tick our own event, retire the outstanding entry.
+        if let Some(san) = &self.san {
+            if let Some(vc) = &mut self.vclock {
+                if let Some(sender_clock) = &msg.clock {
+                    vc.merge(sender_clock);
+                }
+                vc.tick(self.world_rank);
+            }
+            san.on_recv(msg.uid);
+        }
         msg.payload
+    }
+
+    /// Blocking receive of the message from local rank `src` of `comm` with
+    /// `tag`. Advances this rank's clock to at least the message arrival
+    /// time plus the transfer charge; waiting time counts as communication.
+    ///
+    /// A deadlock aborts the wait: within ~100ms with the sanitizer's
+    /// detector (naming the exact cycle), or after a generous timeout as a
+    /// backstop — failing loudly beats hanging the test suite.
+    pub fn recv(&mut self, comm: &Comm, src: usize, tag: u64) -> Payload {
+        let src_world = comm.world_rank_of(src);
+        let key = (comm.ctx, src_world, tag);
+        let msg = match self.pop_pending(key) {
+            Some(m) => m,
+            None => self.blocked_recv(comm.ctx, tag, vec![src_world], false, |m| {
+                (m.ctx, m.src_world, m.tag) == key
+            }),
+        };
+        self.complete_recv(msg)
+    }
+
+    /// Wildcard receive (`MPI_ANY_SOURCE`): the next message on `comm` with
+    /// `tag` from *any* member. Returns the sender's local rank and the
+    /// payload.
+    ///
+    /// Which message matches depends on arrival order, so two concurrent
+    /// senders make the result nondeterministic — exactly what the
+    /// sanitizer's happens-before race check flags
+    /// ([`commcheck::Finding::Race`]). Prefer deterministic-source
+    /// [`Rank::recv`] in algorithm code; this exists for opportunistic
+    /// work-stealing patterns and for exercising the race detector.
+    pub fn recv_any(&mut self, comm: &Comm, tag: u64) -> (usize, Payload) {
+        let ctx = comm.ctx;
+        // Pull everything already queued into `pending`, then scan members
+        // in local-rank order so the buffered case is deterministic.
+        while let Ok(m) = self.inbox.try_recv() {
+            self.stash(m);
+        }
+        let mut found = None;
+        for &w in comm.members().iter() {
+            if let Some(m) = self.pop_pending((ctx, w, tag)) {
+                found = Some(m);
+                break;
+            }
+        }
+        let msg = match found {
+            Some(m) => m,
+            None => {
+                let targets: Vec<usize> = comm
+                    .members()
+                    .iter()
+                    .copied()
+                    .filter(|&w| w != self.world_rank)
+                    .collect();
+                self.blocked_recv(ctx, tag, targets, true, |m| m.ctx == ctx && m.tag == tag)
+            }
+        };
+        // Race check must see the matched send while it is still
+        // outstanding (complete_recv retires it).
+        if let Some(san) = &self.san {
+            san.check_wildcard_match(self.world_rank, ctx, tag, msg.uid, &self.phase);
+        }
+        let src_local = comm
+            .local_rank_of_world(msg.src_world)
+            .expect("recv_any matched a message from a non-member");
+        let payload = self.complete_recv(msg);
+        (src_local, payload)
     }
 
     /// Charge `flops` floating-point operations of compute time.

@@ -303,7 +303,7 @@ mod tests {
             let comm = trace
                 .activities
                 .iter()
-                .find(|a| a.msg_uid.is_some())
+                .find(|a| a.msg.is_some())
                 .expect("traced p2p activity");
             assert_eq!(trace.phase_of(comm.span), Some("fact"));
             // The trailing compute resolves to "solve".

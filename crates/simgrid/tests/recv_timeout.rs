@@ -1,0 +1,38 @@
+//! The receive-timeout backstop (sanitizer off): the panic must name the
+//! missing message *and* the whole wait-for-graph state, so even an
+//! unsanitized hang is diagnosable.
+//!
+//! Lives in its own integration-test binary because the timeout is latched
+//! from `SALU_RECV_TIMEOUT_SECS` once per process.
+
+use simgrid::{Machine, TimeModel};
+use std::panic::AssertUnwindSafe;
+
+#[test]
+fn timeout_backstop_names_wait_graph_state() {
+    std::env::set_var("SALU_RECV_TIMEOUT_SECS", "1");
+    let m = Machine::new(2, TimeModel::zero()); // no sanitizer: no detector
+    let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        m.run(|rank| {
+            let world = rank.world();
+            rank.set_phase("fact");
+            if rank.id() == 0 {
+                // Rank 1 exits immediately; this can never be satisfied.
+                let _ = rank.recv(&world, 1, 33);
+            }
+        })
+    }))
+    .expect_err("run must hit the timeout");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic payload must be a string");
+    assert!(
+        msg.contains("recv timeout waiting for (ctx=0, src=1, tag=33)"),
+        "{msg}"
+    );
+    assert!(msg.contains("wait-for graph:"), "{msg}");
+    assert!(msg.contains("rank 0: blocked in recv"), "{msg}");
+    assert!(msg.contains("(ctx=0, src=1, tag=33, phase=fact)"), "{msg}");
+    assert!(msg.contains("rank 1: finished"), "{msg}");
+}

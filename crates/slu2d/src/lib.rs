@@ -1,5 +1,6 @@
 // Indexing loops are the clearer idiom in numeric kernel code.
 #![allow(clippy::needless_range_loop)]
+#![forbid(unsafe_code)]
 
 //! Baseline 2D right-looking supernodal sparse LU — the SuperLU_DIST model
 //! (paper §II-E) rebuilt on the simulated machine.

@@ -1,5 +1,6 @@
 // Indexing loops are the clearer idiom in numeric kernel code.
 #![allow(clippy::needless_range_loop)]
+#![forbid(unsafe_code)]
 
 //! Sparse-matrix substrate for the 3D sparse LU reproduction.
 //!

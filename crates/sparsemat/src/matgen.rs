@@ -539,7 +539,7 @@ mod tests {
         assert!(a.is_pattern_symmetric());
         // Interior vertex of the surviving part keeps degree 4.
         // Vertex (1,1) is interior.
-        let v = 1 * 8 + 1; // compact numbering equals full numbering in row 0..half
+        let v = 8 + 1; // vertex (1,1); compact numbering equals full numbering in row 0..half
         assert_eq!(a.row_cols(v).len(), 5);
     }
 

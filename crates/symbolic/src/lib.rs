@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Symbolic factorization substrate: from a nested-dissection separator tree
 //! to the supernodal block structure the numerical factorization fills in.
 //!

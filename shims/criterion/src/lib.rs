@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline stand-in for the `criterion` crate (0.5 API subset).
 //!
 //! The workspace's benches use benchmark groups with `sample_size`,

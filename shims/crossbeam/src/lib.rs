@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The build environment has no crates.io access, so the workspace ships

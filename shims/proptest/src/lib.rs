@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The workspace's property tests use a narrow slice of proptest:

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline stand-in for the `rand` crate (0.8 API subset).
 //!
 //! The workspace uses rand only for seeded, reproducible pseudo-randomness

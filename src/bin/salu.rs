@@ -28,6 +28,8 @@ struct Args {
     symmetric: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    sanitize: bool,
+    lint_trace: Vec<String>,
 }
 
 fn usage() -> ! {
@@ -55,7 +57,16 @@ fn usage() -> ! {
          \x20 --trace-out FILE   write a Chrome trace-event JSON of the run\n\
          \x20                    (open in ui.perfetto.dev) and print the\n\
          \x20                    critical-path attribution\n\
-         \x20 --metrics-out FILE write the merged metrics registry as JSON"
+         \x20 --metrics-out FILE write the merged metrics registry as JSON\n\
+         \x20 --sanitize         run under the communication sanitizer\n\
+         \x20                    (race/deadlock/leak detection; see docs/commcheck.md)\n\
+         \n\
+         standalone (no matrix needed):\n\
+         \x20 --lint-trace FILE  offline-lint a trace written by --trace-out:\n\
+         \x20                    send/recv pairing, per-(ctx,tag) FIFO order,\n\
+         \x20                    collective participation. Give the flag twice\n\
+         \x20                    to also check two runs for determinism.\n\
+         \x20                    Exit 1 on findings."
     );
     exit(2)
 }
@@ -75,6 +86,8 @@ fn parse_args() -> Args {
         symmetric: false,
         trace_out: None,
         metrics_out: None,
+        sanitize: false,
+        lint_trace: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -105,6 +118,8 @@ fn parse_args() -> Args {
             "--no-compare" => args.compare_2d = false,
             "--trace-out" => args.trace_out = Some(val("--trace-out")),
             "--metrics-out" => args.metrics_out = Some(val("--metrics-out")),
+            "--sanitize" => args.sanitize = true,
+            "--lint-trace" => args.lint_trace.push(val("--lint-trace")),
             "--condest" => args.condest = true,
             "--chol" => args.chol = true,
             "--sym" => args.symmetric = true,
@@ -115,7 +130,7 @@ fn parse_args() -> Args {
             }
         }
     }
-    if args.gen_spec.is_none() && args.mtx.is_none() {
+    if args.gen_spec.is_none() && args.mtx.is_none() && args.lint_trace.is_empty() {
         usage();
     }
     let (pr, pc, pz) = args.grid;
@@ -185,8 +200,54 @@ fn build_matrix(args: &Args) -> (Csr, Geometry, String) {
     }
 }
 
+/// Standalone offline-lint mode: check one trace, or two for determinism.
+/// Exit status 0 = clean, 1 = findings, 2 = unreadable input.
+fn lint_traces(paths: &[String]) -> ! {
+    let load = |path: &String| -> salu::simgrid::Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            exit(2)
+        });
+        salu::simgrid::Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: not valid JSON: {e}");
+            exit(2)
+        })
+    };
+    let mut clean = true;
+    let docs: Vec<_> = paths.iter().map(load).collect();
+    for (path, doc) in paths.iter().zip(&docs) {
+        match salu::simgrid::commcheck::lint_trace(doc) {
+            Ok(report) => {
+                println!("{path}:");
+                print!("{}", report.render());
+                clean &= report.is_clean();
+            }
+            Err(e) => {
+                eprintln!("{path}: not a Chrome trace document: {e}");
+                exit(2)
+            }
+        }
+    }
+    if let [a, b] = docs.as_slice() {
+        match salu::simgrid::commcheck::check_determinism(a, b) {
+            Ok(()) => println!("determinism: communication schedules identical"),
+            Err(why) => {
+                println!("determinism: {why}");
+                clean = false;
+            }
+        }
+    } else if docs.len() > 2 {
+        eprintln!("--lint-trace accepts at most two files");
+        exit(2)
+    }
+    exit(if clean { 0 } else { 1 })
+}
+
 fn main() {
     let args = parse_args();
+    if !args.lint_trace.is_empty() {
+        lint_traces(&args.lint_trace);
+    }
     let (a, geometry, label) = build_matrix(&args);
     let (pr, pc, pz) = args.grid;
     println!("matrix : {label}  (n = {}, nnz = {})", a.nrows, a.nnz());
@@ -215,6 +276,7 @@ fn main() {
         lookahead: args.lookahead,
         refine_steps: args.refine,
         tracing: args.trace_out.is_some(),
+        sanitize: args.sanitize,
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
@@ -238,6 +300,11 @@ fn main() {
         "  peak memory per rank  = {:.2} MB",
         out.max_store_words as f64 * 8.0 / 1e6
     );
+    if let Some(rep) = &out.sanitizer {
+        // A sanitized run with findings panics inside the solver, so
+        // reaching this line means the run was clean.
+        print!("{}", rep.render());
+    }
 
     if let Some(path) = &args.trace_out {
         let doc = out.chrome_trace().expect("tracing was enabled");

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # salu — a communication-avoiding 3D sparse LU factorization
 //!
 //! A full-stack Rust reproduction of *"A Communication-Avoiding 3D LU
