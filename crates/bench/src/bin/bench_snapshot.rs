@@ -1,0 +1,82 @@
+//! Performance snapshot: one JSON document per PR with the headline
+//! numbers of a fixed configuration suite — host wall-clock, simulated
+//! makespan, ledger peak memory, and per-rank communication volume — so
+//! the perf trajectory accumulates comparable points over time.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_snapshot [OUT.json]
+//! ```
+//!
+//! The default output path is `BENCH_pr3.json` in the current directory.
+//! Matrix sizes are pinned (not `SALU_SCALE`-dependent) so snapshots from
+//! different checkouts compare like for like; wall-clock is the only
+//! host-sensitive field.
+
+use bench::run_config;
+use simgrid::Json;
+use slu2d::driver::Prepared;
+use sparsemat::testmats::{test_matrix, Scale};
+
+/// The fixed suite: `(matrix, P, Pz)` points covering the planar 2D case,
+/// a 3D-geometry case, and a non-planar KKT case, at both `Pz = 1` and a
+/// replicated depth.
+const POINTS: &[(&str, usize, usize)] = &[
+    ("k2d5pt", 16, 1),
+    ("k2d5pt", 16, 4),
+    ("serena3d", 16, 1),
+    ("serena3d", 16, 4),
+    ("nlpkkt", 16, 4),
+];
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let mut points = Vec::new();
+    for &(name, p, pz) in POINTS {
+        let tm = test_matrix(name, Scale::Small);
+        let prep = Prepared::new(tm.matrix.clone(), tm.geometry, 32, 32);
+        let t0 = std::time::Instant::now();
+        let out = run_config(&prep, p, pz).expect("fixed suite configs are valid");
+        let wall = t0.elapsed().as_secs_f64();
+        let s = out.summary();
+        points.push(Json::Obj(vec![
+            ("matrix".into(), Json::str(name)),
+            ("n".into(), Json::num(prep.a.nrows as f64)),
+            ("p".into(), Json::num(p as f64)),
+            ("pz".into(), Json::num(pz as f64)),
+            ("wall_secs".into(), Json::num(wall)),
+            ("makespan_secs".into(), Json::num(out.makespan())),
+            (
+                "max_peak_bytes".into(),
+                Json::num(out.max_peak_bytes() as f64),
+            ),
+            (
+                "total_peak_bytes".into(),
+                Json::num(out.total_peak_bytes() as f64),
+            ),
+            ("w_fact_words".into(), Json::num(out.w_fact() as f64)),
+            ("w_red_words".into(), Json::num(out.w_red() as f64)),
+            (
+                "total_sent_words".into(),
+                Json::num(s.total_sent_words as f64),
+            ),
+        ]));
+        println!(
+            "{name:8} P={p:2} Pz={pz}  wall {wall:6.2}s  makespan {:.4}s  peak {:.2} MB  W {} words",
+            out.makespan(),
+            out.max_peak_bytes() as f64 / 1e6,
+            out.w_fact() + out.w_red(),
+        );
+    }
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::str("salu-bench-snapshot/1")),
+        ("pr".into(), Json::str("pr3")),
+        ("points".into(), Json::Arr(points)),
+    ]);
+    std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("snapshot written to {out_path}");
+}

@@ -37,12 +37,22 @@ fn main() {
                     None => "-".to_string(),
                 };
                 w_prev = Some(total);
+                // Message-size distribution across every send in the run:
+                // the median tracks panel-block granularity, the tail the
+                // packed ancestor-reduction messages.
+                let metrics = out.metrics();
+                let (p50, p95) = metrics
+                    .histogram("msg.send_words")
+                    .map(|h| (h.quantile(0.50) * 8.0, h.quantile(0.95) * 8.0))
+                    .unwrap_or((0.0, 0.0));
                 rows.push(vec![
                     format!("{}x{}", p / pz, pz),
                     format!("{wf}"),
                     format!("{wr}"),
                     format!("{total}"),
                     format!("{}", s.max_recv_words * 8),
+                    format!("{p50:.0}"),
+                    format!("{p95:.0}"),
                     trend,
                 ]);
             }
@@ -53,6 +63,8 @@ fn main() {
                     "W_red (B)",
                     "W_total (B)",
                     "W_recv (B)",
+                    "msg p50 (B)",
+                    "msg p95 (B)",
                     "trend",
                 ],
                 &rows,

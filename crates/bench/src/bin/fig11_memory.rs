@@ -12,18 +12,18 @@ use bench::{prepare, print_table, run_config, scale_from_env, suite, PZ_SWEEP};
 fn main() {
     let scale = scale_from_env();
     println!("Fig. 11 reproduction — relative memory overhead of 3D over 2D (%)");
-    println!("(total factor storage across all ranks, P = 16)\n");
+    println!("(measured allocation-ledger peak summed across all ranks, P = 16)\n");
     let mut rows = Vec::new();
     for tm in suite(scale) {
         let prep = prepare(&tm);
         let base = run_config(&prep, 16, 1)
             .expect("2D baseline")
-            .total_store_words;
+            .total_peak_bytes();
         let mut cells = vec![tm.name.to_string(), format!("{:?}", tm.class)];
         for &pz in PZ_SWEEP {
             match run_config(&prep, 16, pz) {
                 Some(out) => {
-                    let ovh = 100.0 * (out.total_store_words as f64 / base as f64 - 1.0);
+                    let ovh = 100.0 * (out.total_peak_bytes() as f64 / base as f64 - 1.0);
                     cells.push(format!("{ovh:+.0}%"));
                 }
                 None => cells.push("-".into()),

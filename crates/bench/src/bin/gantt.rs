@@ -30,6 +30,17 @@ fn show(out: &Output3d) {
     if let Some(cp) = out.critical_path() {
         print!("{}", cp.render());
     }
+    // Receive-wait distribution: the gap between the waiting stripes of the
+    // chart (p50) and its stalls (p99).
+    if let Some(h) = out.metrics().histogram("recv.wait_secs") {
+        println!(
+            "recv wait: p50 {:.2e}s  p95 {:.2e}s  p99 {:.2e}s  (n = {})",
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.count
+        );
+    }
 }
 
 fn main() {

@@ -72,6 +72,27 @@ pub fn factor_3d(
     let l = forest.l;
     assert_eq!(grid3.pz, forest.pz(), "grid/forest Pz mismatch");
     let (my_r, my_c, my_z) = comms.coords;
+    // Charge every block to the memory ledger up front (the symbolic
+    // pattern is fully allocated before numeric work starts). The panel
+    // supernode is `min(i, j)` (blocks of column/row panels lie below and
+    // right of their panel's diagonal); a panel whose node sits above the
+    // grid's leaf level is a replicated ancestor — the Pz copies the paper
+    // trades for communication — attributed to its tree level. Charging
+    // here rather than in the caller keeps the reduction's
+    // `AncestorReplica` credits symmetric for every `factor_3d` user.
+    store.charge_to_ledger(rank, |i, j| {
+        let p = i.min(j);
+        let np = sym.part.node_of_sn[p];
+        let lvl = forest.part_level[np] as u32;
+        let class = if forest.part_level[np] < forest.l {
+            simgrid::MemClass::AncestorReplica
+        } else if i < j {
+            simgrid::MemClass::UPanel
+        } else {
+            simgrid::MemClass::LPanel
+        };
+        (class, lvl)
+    });
     let env = FactorEnv {
         grid: grid3.grid2d,
         my_r,
@@ -95,6 +116,7 @@ pub fn factor_3d(
             continue; // this grid is inactive from here on
         }
         outcome.active_levels += 1;
+        rank.set_tree_level(lvl as u32);
         let q = my_z >> (l - lvl);
         let nodes = forest.supernodes_of(lvl, q, &sym.part);
         // One span per active forest level; the `fact`/`reduce` phase spans
@@ -162,8 +184,16 @@ fn reduce_ancestors(
                     .iter()
                     .map(|&(i, j)| (i * nsup + j, store.get(i, j).expect("owned block")))
                     .collect();
+                let sent_bytes: u64 = items
+                    .iter()
+                    .map(|(_, m)| (m.rows() * m.cols()) as u64 * 8)
+                    .sum();
                 let payload = pack_blocks(&items);
                 rank.send(&comms.zline, peer_z, tag, payload);
+                // This grid retires after sending: its replica of ancestor
+                // `s` is dead, so release the bytes charged at store build
+                // (class AncestorReplica, level `l_a`).
+                rank.mem_credit_at(simgrid::MemClass::AncestorReplica, l_a as u32, sent_bytes);
             } else {
                 let payload = rank.recv(&comms.zline, peer_z, tag);
                 let nsup = sym.nsup();

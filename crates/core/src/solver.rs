@@ -151,6 +151,38 @@ impl Output3d {
     pub fn metrics(&self) -> simgrid::MetricsRegistry {
         simgrid::merged_metrics(&self.reports)
     }
+
+    /// Machine-wide memory profile document: per-rank ledger reports plus
+    /// the max/sum/per-class summary (always available — the ledger does
+    /// not require tracing).
+    pub fn mem_profile(&self) -> simgrid::Json {
+        let per_rank: Vec<_> = self.reports.iter().map(|r| r.memprof.clone()).collect();
+        simgrid::memprof_json(&per_rank)
+    }
+
+    /// Max per-rank ledger high-water mark (bytes).
+    pub fn max_peak_bytes(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.memprof.peak_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum over ranks of ledger high-water marks (bytes) — the live-ledger
+    /// memory measure behind the regenerated Fig. 11 table.
+    pub fn total_peak_bytes(&self) -> u64 {
+        self.reports.iter().map(|r| r.memprof.peak_bytes).sum()
+    }
+
+    /// Sum over ranks of peak-instant bytes attributed to one memory
+    /// class.
+    pub fn peak_class_bytes(&self, class: simgrid::MemClass) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.memprof.peak_class_bytes(class))
+            .sum()
+    }
 }
 
 /// Factor only (no solve): the measurement entry point for every
@@ -214,7 +246,6 @@ fn run(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64>>) -> Output3d {
             &value_pred,
         );
         let store_words = store.total_words();
-        rank.record_memory(store_words * 8);
 
         let outcome = factor_3d(rank, &grid3, &comms, &mut store, &sym, &forest_cl, opts);
 

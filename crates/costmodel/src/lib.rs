@@ -23,9 +23,11 @@
 //! assert!(w3d < w2d); // the 3D algorithm communicates less at Pz*
 //! ```
 
+pub mod conformance;
 pub mod nonplanar;
 pub mod planar;
 
+pub use conformance::{check_conformance, ConformanceCheck, ConformanceInput, ConformanceReport};
 pub use nonplanar::NonPlanarModel;
 pub use planar::{optimal_pz_planar, PlanarModel};
 

@@ -6,6 +6,7 @@
 //! by the message uid. Load the emitted file in <https://ui.perfetto.dev>.
 
 use crate::json::Json;
+use crate::memprof::MemClass;
 use crate::span::{ActivityKind, RankObs};
 use std::collections::{BTreeMap, HashSet};
 
@@ -98,6 +99,42 @@ pub fn chrome_trace(obs: &[RankObs]) -> Json {
                 events.push(Json::Obj(flow));
             }
         }
+        // Memory counter track: one "C" sample per distinct ledger
+        // timestamp, args = cumulative bytes per class (summed over tree
+        // levels). Perfetto renders each (pid, name) counter as a stacked
+        // area chart beside the rank's span track.
+        if !r.mem.is_empty() {
+            let live: Vec<MemClass> = MemClass::ALL
+                .iter()
+                .copied()
+                .filter(|&c| r.mem.iter().any(|e| e.class == c))
+                .collect();
+            let mut totals: BTreeMap<MemClass, i64> = BTreeMap::new();
+            let mut i = 0;
+            while i < r.mem.len() {
+                let t = r.mem[i].t;
+                while i < r.mem.len() && r.mem[i].t == t {
+                    *totals.entry(r.mem[i].class).or_insert(0) += r.mem[i].delta;
+                    i += 1;
+                }
+                let args = live
+                    .iter()
+                    .map(|&c| {
+                        let v = totals.get(&c).copied().unwrap_or(0);
+                        (c.as_str().to_string(), Json::num(v as f64))
+                    })
+                    .collect();
+                events.push(Json::Obj(vec![
+                    ("ph".into(), Json::str("C")),
+                    ("name".into(), Json::str(format!("mem rank {}", r.rank))),
+                    ("cat".into(), Json::str("mem")),
+                    ("ts".into(), Json::num(t * US)),
+                    ("pid".into(), Json::num(0.0)),
+                    ("tid".into(), Json::num(r.rank as f64)),
+                    ("args".into(), Json::Obj(args)),
+                ]));
+            }
+        }
     }
     Json::Obj(vec![
         ("traceEvents".into(), Json::Arr(events)),
@@ -116,6 +153,8 @@ pub struct ChromeTraceStats {
     pub max_nesting: usize,
     /// Matched send→recv flow pairs.
     pub flow_pairs: usize,
+    /// `"C"` counter samples (memory tracks).
+    pub counter_events: usize,
 }
 
 /// Validate a parsed Chrome trace document: required fields on every
@@ -175,6 +214,27 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<ChromeTraceStats, String> {
                     .and_then(|d| d.as_f64())
                     .ok_or_else(|| format!("event {i}: flow without id"))?;
                 flow_ends.push(id as i64);
+            }
+            "C" => {
+                if ev.get("name").and_then(|n| n.as_str()).is_none() {
+                    return Err(format!("event {i}: C without name"));
+                }
+                if ev.get("ts").and_then(|t| t.as_f64()).is_none() {
+                    return Err(format!("event {i}: C without ts"));
+                }
+                let args = ev
+                    .get("args")
+                    .and_then(|a| a.as_obj())
+                    .ok_or_else(|| format!("event {i}: C without args object"))?;
+                for (k, v) in args {
+                    let n = v
+                        .as_f64()
+                        .ok_or_else(|| format!("event {i}: counter series {k:?} not numeric"))?;
+                    if n < 0.0 {
+                        return Err(format!("event {i}: counter series {k:?} negative ({n})"));
+                    }
+                }
+                stats.counter_events += 1;
             }
             "M" => {}
             other => return Err(format!("event {i}: unexpected ph {other:?}")),
@@ -311,6 +371,50 @@ mod tests {
         assert!(events
             .iter()
             .all(|e| e.get("ph").unwrap().as_str() != Some("s")));
+    }
+
+    #[test]
+    fn counter_track_roundtrips_and_counts() {
+        use crate::memprof::{MemClass, MemLedger};
+        let mut led = MemLedger::new(true);
+        led.charge(MemClass::LPanel, 128, 0.0);
+        led.charge(MemClass::MsgInFlight, 64, 1.0);
+        led.credit(MemClass::MsgInFlight, 64, 2.0);
+        let mut obs = two_rank_obs();
+        obs[0].mem = led.take_timeline();
+        let doc = chrome_trace(&obs);
+        let stats = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(stats.counter_events, 3);
+        // Parse back through text and check the cumulative series.
+        let back = Json::parse(&doc.dump()).unwrap();
+        let counters: Vec<&Json> = back
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 3);
+        let series = |ev: &Json, k: &str| ev.get("args").unwrap().get(k).unwrap().as_f64().unwrap();
+        assert_eq!(series(counters[0], "LPanel"), 128.0);
+        assert_eq!(series(counters[0], "MsgInFlight"), 0.0);
+        assert_eq!(series(counters[1], "MsgInFlight"), 64.0);
+        assert_eq!(series(counters[2], "MsgInFlight"), 0.0);
+        assert_eq!(series(counters[2], "LPanel"), 128.0);
+        validate_chrome_trace(&back).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_negative_counter_series() {
+        let doc = Json::parse(
+            r#"{"traceEvents":[
+                {"ph":"C","name":"mem rank 0","ts":0,"pid":0,"tid":0,
+                 "args":{"LPanel":-8}}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(validate_chrome_trace(&doc).is_err());
     }
 
     #[test]

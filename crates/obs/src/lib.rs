@@ -16,6 +16,8 @@
 //!   simulated time, plus the machine-level activity stream.
 //! - [`metrics`]: counters, max-gauges, and log2-bucket histograms,
 //!   mergeable across ranks and dumpable as JSON.
+//! - [`memprof`]: the tagged allocation ledger — per-rank high-water
+//!   marks with class+tree-level attribution of the peak instant.
 //! - [`chrome`]: trace-event JSON for <https://ui.perfetto.dev>, with
 //!   send→recv flow arrows, and a structural validator.
 //! - [`critpath`]: backward walk over the send→recv dependency graph
@@ -43,11 +45,13 @@
 pub mod chrome;
 pub mod critpath;
 pub mod json;
+pub mod memprof;
 pub mod metrics;
 pub mod span;
 
 pub use chrome::{chrome_trace, validate_chrome_trace, ChromeTraceStats};
 pub use critpath::{CritSegment, CriticalPath, SegKind};
 pub use json::Json;
+pub use memprof::{memprof_json, MemAttr, MemClass, MemEvent, MemLedger, MemReport};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use span::{Activity, ActivityKind, MsgInfo, RankObs, Recorder, SpanCat, SpanId, SpanRecord};

@@ -51,6 +51,35 @@ impl Histogram {
         }
     }
 
+    /// Bucketed quantile estimate: find the bucket holding the `q`-th
+    /// sample and interpolate linearly inside it, clamped to the observed
+    /// [min, max]. Exact for the zero bucket; within a factor of 2
+    /// otherwise, which is enough to expose tails the mean hides.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (&k, &n) in &self.buckets {
+            if (seen + n) as f64 >= target {
+                if k == i32::MIN {
+                    return 0.0;
+                }
+                let lo = 2f64.powi(k);
+                let hi = 2f64.powi(k + 1);
+                let frac = if n == 0 {
+                    0.0
+                } else {
+                    ((target - seen as f64) / n as f64).clamp(0.0, 1.0)
+                };
+                return (lo + frac * (hi - lo)).max(self.min).min(self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
             return;
@@ -90,6 +119,9 @@ impl Histogram {
             ("min".into(), Json::num(self.min)),
             ("max".into(), Json::num(self.max)),
             ("mean".into(), Json::num(self.mean())),
+            ("p50".into(), Json::num(self.quantile(0.50))),
+            ("p95".into(), Json::num(self.quantile(0.95))),
+            ("p99".into(), Json::num(self.quantile(0.99))),
             ("buckets".into(), Json::Arr(buckets)),
         ])
     }
@@ -217,6 +249,30 @@ mod tests {
         assert_eq!(h.buckets[&0], 2); // 1.0 and 1.5 in [1, 2)
         assert_eq!(h.buckets[&1], 1); // 2.0 in [2, 4)
         assert_eq!(h.buckets[&9], 1); // 1000 in [512, 1024)
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let mut h = Histogram::default();
+        for v in 1..=100u32 {
+            h.observe(v as f64);
+        }
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        // Log2 buckets: estimates are within a factor of 2 of the truth.
+        assert!((25.0..=100.0).contains(&p50), "p50 = {p50}");
+        assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+        assert!(p99 <= h.max);
+        assert_eq!(h.quantile(0.0), h.min);
+        assert_eq!(h.quantile(1.0), h.max);
+        // All-zero histogram quantiles are exactly zero.
+        let mut z = Histogram::default();
+        z.observe(0.0);
+        z.observe(0.0);
+        assert_eq!(z.quantile(0.99), 0.0);
+        // Empty histogram is defined as 0.
+        assert_eq!(Histogram::default().quantile(0.5), 0.0);
     }
 
     #[test]

@@ -138,6 +138,10 @@ pub struct RankObs {
     pub spans: Vec<SpanRecord>,
     /// All activities in chronological order.
     pub activities: Vec<Activity>,
+    /// Memory ledger events in chronological order (empty unless the run
+    /// recorded a [`crate::memprof::MemLedger`] timeline); the Chrome
+    /// exporter turns these into `"ph":"C"` counter tracks.
+    pub mem: Vec<crate::memprof::MemEvent>,
 }
 
 impl RankObs {
@@ -277,6 +281,7 @@ impl Recorder {
             rank: self.rank,
             spans: self.spans,
             activities: self.activities,
+            mem: Vec::new(),
         }
     }
 }

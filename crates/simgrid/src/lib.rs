@@ -66,7 +66,10 @@ pub use trace::{render_gantt, validate_trace};
 // Observability substrate: spans, activities, metrics, Chrome export,
 // critical-path analysis (see the `obs` crate).
 pub use obs;
-pub use obs::{ActivityKind, CriticalPath, Json, MetricsRegistry, RankObs, SpanCat, SpanId};
+pub use obs::{
+    memprof_json, ActivityKind, CriticalPath, Json, MemClass, MemLedger, MemReport,
+    MetricsRegistry, RankObs, SpanCat, SpanId,
+};
 // Communication sanitizer: race/deadlock/leak detection online
 // ([`Machine::with_sanitizer`]) and the offline trace linter.
 pub use commcheck;

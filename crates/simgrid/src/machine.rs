@@ -96,6 +96,14 @@ impl<T> RunResult<T> {
     pub fn metrics(&self) -> MetricsRegistry {
         merged_metrics(&self.reports)
     }
+
+    /// Machine-wide memory profile: every rank's ledger report plus the
+    /// max/sum/per-class summary (always available — the ledger does not
+    /// require tracing).
+    pub fn mem_profile(&self) -> Json {
+        let per_rank: Vec<_> = self.reports.iter().map(|r| r.memprof.clone()).collect();
+        obs::memprof_json(&per_rank)
+    }
 }
 
 impl Machine {

@@ -7,7 +7,7 @@ use crate::stats::{PhaseCounter, RankReport};
 use crate::timemodel::TimeModel;
 use commcheck::{SanState, SendRec, VClock, WaitGraph, WaitInfo};
 use crossbeam::channel::{Receiver, Sender};
-use obs::{ActivityKind, MetricsRegistry, MsgInfo, Recorder, SpanCat, SpanId};
+use obs::{ActivityKind, MemClass, MemLedger, MetricsRegistry, MsgInfo, Recorder, SpanCat, SpanId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -82,6 +82,10 @@ pub struct Rank {
     /// Always-on counters/gauges/histograms; merged across ranks after the
     /// run.
     metrics: MetricsRegistry,
+    /// Tagged allocation ledger: running balances per memory class, the
+    /// high-water mark, and its class+level attribution. Always on; the
+    /// per-event timeline is recorded only when tracing.
+    ledger: MemLedger,
     /// Machine-wide wait-for graph; touched only when a receive actually
     /// blocks on the channel, so the fast path costs nothing.
     wait_graph: Arc<WaitGraph>,
@@ -127,6 +131,7 @@ impl Rank {
             },
             phase_span: None,
             metrics: MetricsRegistry::default(),
+            ledger: MemLedger::new(tracing),
             wait_graph,
             vclock: san.as_ref().map(|_| VClock::new(world_size)),
             san,
@@ -262,6 +267,50 @@ impl Rank {
     /// Keep the maximum of `v` under gauge `name`.
     pub fn metric_gauge_max(&mut self, name: &str, v: f64) {
         self.metrics.gauge_max(name, v);
+    }
+
+    /// Charge `bytes` of `class` to the memory ledger at the current
+    /// simulated time, attributed to the current elimination-tree level.
+    pub fn mem_charge(&mut self, class: MemClass, bytes: u64) {
+        let t = self.clock;
+        self.ledger.charge(class, bytes, t);
+    }
+
+    /// Charge against an explicit tree level (e.g. ancestor replicas whose
+    /// level is known at store-build time).
+    pub fn mem_charge_at(&mut self, class: MemClass, level: u32, bytes: u64) {
+        let t = self.clock;
+        self.ledger.charge_at(class, level, bytes, t);
+    }
+
+    /// Credit (free) `bytes` of `class` at the current level. Panics on
+    /// underflow — a credit without a matching charge is a wiring bug.
+    pub fn mem_credit(&mut self, class: MemClass, bytes: u64) {
+        let t = self.clock;
+        self.ledger.credit(class, bytes, t);
+    }
+
+    /// Credit against an explicit tree level.
+    pub fn mem_credit_at(&mut self, class: MemClass, level: u32, bytes: u64) {
+        let t = self.clock;
+        self.ledger.credit_at(class, level, bytes, t);
+    }
+
+    /// Set the elimination-tree level subsequent ledger charges are
+    /// attributed to (the 3D driver calls this once per level; 2D runs
+    /// stay at level 0).
+    pub fn set_tree_level(&mut self, level: u32) {
+        self.ledger.set_level(level);
+    }
+
+    /// Current ledger balance of one memory class (bytes).
+    pub fn mem_balance(&self, class: MemClass) -> u64 {
+        self.ledger.balance(class)
+    }
+
+    /// Ledger high-water mark so far (bytes).
+    pub fn mem_peak(&self) -> u64 {
+        self.ledger.peak()
     }
 
     fn counter(&mut self) -> &mut PhaseCounter {
@@ -419,6 +468,15 @@ impl Rank {
         // pay the transfer cost.
         let ready = msg.arrival.max(self.clock);
         let done = ready + self.model.xfer(words);
+        // The message's bytes occupy this rank's receive buffers for the
+        // transfer window [ready, done]: charged when the transfer starts,
+        // credited when the receive consumes them. Both endpoints are pure
+        // simulated-time quantities — charging at physical channel arrival
+        // would depend on wall-clock thread interleaving and break run
+        // determinism. Level 0 on both sides so a tree-level change during
+        // the window cannot unbalance the ledger.
+        self.ledger
+            .charge_at(MemClass::MsgInFlight, 0, words * 8, ready);
         self.t_comm += done - self.clock;
         if ready > self.clock {
             self.metrics.observe("recv.wait_secs", ready - self.clock);
@@ -444,6 +502,8 @@ impl Rank {
             }),
         );
         self.clock = done;
+        self.ledger
+            .credit_at(MemClass::MsgInFlight, 0, words * 8, done);
         {
             let c = self.counter();
             c.recv_msgs += 1;
@@ -556,16 +616,29 @@ impl Rank {
     /// closure returns). Closes any spans left open.
     pub(crate) fn into_report(self, wall_secs: f64) -> RankReport {
         let clock = self.clock;
+        let mut ledger = self.ledger;
+        let mem_timeline = ledger.take_timeline();
+        let memprof = ledger.report();
+        // Ledger-driven high-water mark; `record_memory` snapshots (if any)
+        // are folded in so untagged callers still count.
+        let peak_mem = self.peak_mem.max(memprof.peak_bytes);
+        let mut metrics = self.metrics;
+        metrics.gauge_max("mem.peak_bytes", peak_mem as f64);
         RankReport {
             traffic: self.traffic.into_iter().collect(),
             clock,
             t_comm: self.t_comm,
             t_comp: self.t_comp,
             flops: self.flops,
-            peak_mem_bytes: self.peak_mem,
+            peak_mem_bytes: peak_mem,
             wall_secs,
-            metrics: self.metrics,
-            trace: self.rec.map(|rec| rec.finish(clock)),
+            metrics,
+            memprof,
+            trace: self.rec.map(|rec| {
+                let mut obs = rec.finish(clock);
+                obs.mem = mem_timeline;
+                obs
+            }),
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Per-rank traffic and time accounting.
 
-use obs::{MetricsRegistry, RankObs};
+use obs::{MemReport, MetricsRegistry, RankObs};
 use std::collections::BTreeMap;
 
 /// Message/word counters for one traffic phase on one rank.
@@ -38,12 +38,16 @@ pub struct RankReport {
     pub t_comp: f64,
     /// Total flops this rank charged via `advance_compute`.
     pub flops: u64,
-    /// Peak memory gauge recorded via `record_memory` (bytes).
+    /// Peak memory in bytes: the ledger high-water mark, folded with any
+    /// legacy `record_memory` snapshots.
     pub peak_mem_bytes: u64,
     /// Wall-clock seconds this rank's thread actually ran.
     pub wall_secs: f64,
     /// Counters, gauges, and histograms this rank recorded (always on).
     pub metrics: MetricsRegistry,
+    /// Memory-ledger profile: high-water mark with class+tree-level
+    /// attribution of the peak instant (always on).
+    pub memprof: MemReport,
     /// Span/activity store, when tracing was enabled on the machine.
     pub trace: Option<RankObs>,
 }

@@ -7,7 +7,7 @@ use crate::solve2d::solve_nodes;
 use crate::store::{BlockStore, InitValues};
 use ordering::{nested_dissection, Graph, NdOptions, SepTree};
 use simgrid::topology::build_grid_comms;
-use simgrid::{Grid3d, Machine, RankReport, TimeModel};
+use simgrid::{Grid3d, Machine, MemClass, RankReport, TimeModel};
 use sparsemat::testmats::Geometry;
 use sparsemat::Csr;
 use std::sync::Arc;
@@ -144,12 +144,23 @@ pub fn run_2d(
             &|_| true,
             InitValues::FromMatrix,
         );
-        rank.record_memory(store.total_words() * 8);
+        // Ledger-driven accounting: every block charged once at build (the
+        // symbolic pattern is fully allocated up front, so the old pair of
+        // `record_memory` snapshots double-counted nothing and missed
+        // transients). The high-water mark now falls out of the ledger,
+        // identically to the 3D path.
+        store.charge_to_ledger(rank, |i, j| {
+            let class = if i < j {
+                MemClass::UPanel
+            } else {
+                MemClass::LPanel
+            };
+            (class, 0)
+        });
         rank.set_phase("fact");
         let nodes: Vec<usize> = (0..sym.nsup()).collect();
         let mut done = vec![false; sym.nsup()];
         let outcome = factor_nodes(rank, &env, &mut store, &sym, &nodes, &mut done);
-        rank.record_memory(store.total_words() * 8);
 
         let x_partial = rhs.as_ref().map(|b| {
             rank.set_phase("solve");

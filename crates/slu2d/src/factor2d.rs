@@ -3,7 +3,7 @@
 
 use crate::kernels::{factor_step_panel, factor_step_schur, PanelData};
 use crate::store::BlockStore;
-use simgrid::{Comm, Grid2d, Rank, SpanCat};
+use simgrid::{Comm, Grid2d, MemClass, Rank, SpanCat};
 use std::collections::HashMap;
 use symbolic::Symbolic;
 
@@ -103,6 +103,9 @@ pub fn factor_nodes(
             if j > idx {
                 outcome.lookahead_hits += 1;
             }
+            // Panel pieces held for a pending Schur update are transient
+            // Schur-buffer memory; credited when the update consumes them.
+            rank.mem_charge(MemClass::SchurBuf, pd.words() * 8);
             panels.insert(m, pd);
             paneled[j] = true;
         }
@@ -113,6 +116,7 @@ pub fn factor_nodes(
         rank.with_span(SpanCat::Node, &format!("schur{k}"), |rank| {
             factor_step_schur(rank, env, store, sym, k, &pd);
         });
+        rank.mem_credit(MemClass::SchurBuf, pd.words() * 8);
         done[k] = true;
         // The Schur update completes node k; decrement its etree parent's
         // pending count if the parent is in this list.

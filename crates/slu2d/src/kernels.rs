@@ -23,6 +23,18 @@ pub struct PanelData {
     pub umap: HashMap<usize, Mat>,
 }
 
+impl PanelData {
+    /// Total words of panel storage held (for Schur-buffer memory
+    /// accounting).
+    pub fn words(&self) -> u64 {
+        self.lmap
+            .values()
+            .chain(self.umap.values())
+            .map(|m| (m.rows() * m.cols()) as u64)
+            .sum()
+    }
+}
+
 /// Run the panel phase for supernode `k`: kernels 1-4 of §II-E. Collective
 /// across the 2D grid (every rank of the layer must call it with the same
 /// `k`). Returns the panel data this rank needs for its Schur updates, and

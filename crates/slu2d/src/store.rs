@@ -6,9 +6,14 @@
 //! SuperLU_DIST while making every Schur update a plain GEMM.
 
 use densela::Mat;
-use simgrid::{Grid2d, Payload};
+use simgrid::{Grid2d, MemClass, Payload, Rank};
 use std::collections::HashMap;
 use symbolic::Symbolic;
+
+/// Bytes of symbolic bookkeeping charged to the memory ledger per stored
+/// block: the `(i, j)` key, the dimension header, and the owner-map entry
+/// (4 machine words).
+pub const SYMBOLIC_META_BYTES: u64 = 32;
 
 /// Which blocks a store holds values for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -173,6 +178,25 @@ impl BlockStore {
     /// Iterate over `(block_row, block_col)` keys (arbitrary order).
     pub fn keys(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         self.blocks.keys().copied()
+    }
+
+    /// Charge every stored block (plus [`SYMBOLIC_META_BYTES`] of metadata
+    /// each) to `rank`'s memory ledger, classifying each block with
+    /// `class_of(i, j) -> (class, tree level)`. Keys are sorted so the
+    /// ledger timeline is deterministic despite the hash-map backing.
+    pub fn charge_to_ledger(
+        &self,
+        rank: &mut Rank,
+        class_of: impl Fn(usize, usize) -> (MemClass, u32),
+    ) {
+        let mut keys: Vec<(usize, usize)> = self.keys().collect();
+        keys.sort_unstable();
+        for (i, j) in keys {
+            let m = &self.blocks[&(i, j)];
+            let (class, level) = class_of(i, j);
+            rank.mem_charge_at(class, level, (m.rows() * m.cols()) as u64 * 8);
+            rank.mem_charge_at(MemClass::SymbolicMeta, level, SYMBOLIC_META_BYTES);
+        }
     }
 }
 

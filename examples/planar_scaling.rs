@@ -52,7 +52,7 @@ fn main() {
             crit.t_comp,
             crit.t_comm,
             out.w_fact() + out.w_red(),
-            out.max_store_words as f64 / 1e6,
+            out.max_peak_bytes() as f64 / 8e6,
         );
         let _ = s;
     }
@@ -63,11 +63,16 @@ fn main() {
     println!("(the paper reports 2-11.6x for planar matrices on 16 nodes, Fig. 9)");
 
     // Refresh the pinned observability artifacts (see `salu::sample`): a
-    // Chrome trace and a metrics dump of a small deterministic traced run.
-    // The `observability` test asserts the committed copies match.
-    let (trace, metrics) = salu::sample::sample_artifacts();
+    // Chrome trace, a metrics dump, and a memory profile of a small
+    // deterministic traced run. The `observability` test asserts the
+    // committed copies match.
+    let (trace, metrics, memprof) = salu::sample::sample_artifacts();
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/sample_trace.json", trace).expect("write trace");
     std::fs::write("results/sample_metrics.json", metrics).expect("write metrics");
-    println!("\nwrote results/sample_trace.json and results/sample_metrics.json");
+    std::fs::write("results/sample_memprof.json", memprof).expect("write memprof");
+    println!(
+        "\nwrote results/sample_trace.json, results/sample_metrics.json,\n\
+         and results/sample_memprof.json"
+    );
 }

@@ -28,6 +28,8 @@ struct Args {
     symmetric: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    mem_out: Option<String>,
+    conformance: Option<String>,
     sanitize: bool,
     lint_trace: Vec<String>,
 }
@@ -58,6 +60,13 @@ fn usage() -> ! {
          \x20                    (open in ui.perfetto.dev) and print the\n\
          \x20                    critical-path attribution\n\
          \x20 --metrics-out FILE write the merged metrics registry as JSON\n\
+         \x20 --mem-out FILE     write the per-rank memory profile (tagged\n\
+         \x20                    allocation-ledger peaks with class and\n\
+         \x20                    tree-level attribution) as JSON; '-' = stdout\n\
+         \x20 --conformance FILE check measured memory/communication against\n\
+         \x20                    the Section IV cost models (runs a 2D baseline)\n\
+         \x20                    and write the pass/fail report as JSON;\n\
+         \x20                    '-' = stdout. Exit 1 on failure.\n\
          \x20 --sanitize         run under the communication sanitizer\n\
          \x20                    (race/deadlock/leak detection; see docs/commcheck.md)\n\
          \n\
@@ -86,6 +95,8 @@ fn parse_args() -> Args {
         symmetric: false,
         trace_out: None,
         metrics_out: None,
+        mem_out: None,
+        conformance: None,
         sanitize: false,
         lint_trace: Vec::new(),
     };
@@ -118,6 +129,8 @@ fn parse_args() -> Args {
             "--no-compare" => args.compare_2d = false,
             "--trace-out" => args.trace_out = Some(val("--trace-out")),
             "--metrics-out" => args.metrics_out = Some(val("--metrics-out")),
+            "--mem-out" => args.mem_out = Some(val("--mem-out")),
+            "--conformance" => args.conformance = Some(val("--conformance")),
             "--sanitize" => args.sanitize = true,
             "--lint-trace" => args.lint_trace.push(val("--lint-trace")),
             "--condest" => args.condest = true,
@@ -249,6 +262,7 @@ fn main() {
         lint_traces(&args.lint_trace);
     }
     let (a, geometry, label) = build_matrix(&args);
+    let planar = matches!(geometry, Geometry::Grid2d { .. });
     let (pr, pc, pz) = args.grid;
     println!("matrix : {label}  (n = {}, nnz = {})", a.nrows, a.nnz());
     println!(
@@ -297,8 +311,8 @@ fn main() {
         out.w_red()
     );
     println!(
-        "  peak memory per rank  = {:.2} MB",
-        out.max_store_words as f64 * 8.0 / 1e6
+        "  peak memory per rank  = {:.2} MB (ledger high-water, max over ranks)",
+        out.max_peak_bytes() as f64 / 1e6
     );
     if let Some(rep) = &out.sanitizer {
         // A sanitized run with findings panics inside the solver, so
@@ -323,6 +337,9 @@ fn main() {
             exit(1);
         }
         println!("metrics written to {path}");
+    }
+    if let Some(path) = &args.mem_out {
+        emit_json(path, &out.mem_profile(), "memory profile");
     }
 
     if args.condest {
@@ -378,7 +395,9 @@ fn main() {
         }
     }
 
-    if args.compare_2d && pz > 1 {
+    // One 2D baseline serves both the comparison printout and the
+    // conformance gate (which needs it even under --no-compare).
+    let baseline = if (args.compare_2d || args.conformance.is_some()) && pz > 1 {
         let (br, bc) = bench_layer(pr * pc * pz);
         let base = factor_only(
             &prep,
@@ -390,6 +409,13 @@ fn main() {
                 ..Default::default()
             },
         );
+        Some((br, bc, base))
+    } else {
+        None
+    };
+
+    if args.compare_2d && pz > 1 {
+        let (br, bc, base) = baseline.as_ref().unwrap();
         println!("\n2D baseline ({br} x {bc} x 1):");
         println!("  simulated time        = {:.4} s", base.makespan());
         println!(
@@ -400,8 +426,50 @@ fn main() {
             "  3D speedup            = {:.2}x   comm reduction = {:.2}x   memory overhead = {:+.0}%",
             base.makespan() / out_factor_makespan(&prep, &cfg),
             base.w_fact() as f64 / (out.w_fact() + out.w_red()).max(1) as f64,
-            100.0 * (out.total_store_words as f64 / base.total_store_words as f64 - 1.0),
+            100.0 * (out.total_peak_bytes() as f64 / base.total_peak_bytes() as f64 - 1.0),
         );
+    }
+
+    if let Some(path) = &args.conformance {
+        use salu::costmodel::{check_conformance, ConformanceInput};
+        // Pz = 1: the 3D run *is* the 2D baseline, so the ratios are 1
+        // on both sides and the report trivially passes.
+        let (mem2d_words, w2d_words) = match &baseline {
+            Some((_, _, base)) => (base.max_peak_bytes() as f64 / 8.0, base.w_fact() as f64),
+            None => (
+                out.max_peak_bytes() as f64 / 8.0,
+                (out.w_fact() + out.w_red()) as f64,
+            ),
+        };
+        let rep = check_conformance(ConformanceInput {
+            n: prep.a.nrows as f64,
+            p: (pr * pc * pz) as f64,
+            pz: pz as f64,
+            planar,
+            mem3d_words: out.max_peak_bytes() as f64 / 8.0,
+            mem2d_words,
+            w3d_words: (out.w_fact() + out.w_red()) as f64,
+            w2d_words,
+        });
+        println!("\ncost-model conformance:");
+        print!("{}", rep.render());
+        emit_json(path, &rep.to_json(), "conformance report");
+        if !rep.passed {
+            exit(1);
+        }
+    }
+}
+
+/// Write a JSON document to `path`, or to stdout when `path` is `-`.
+fn emit_json(path: &str, doc: &salu::simgrid::Json, what: &str) {
+    if path == "-" {
+        println!("{}", doc.pretty());
+    } else {
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("failed to write {path}: {e}");
+            exit(1);
+        }
+        println!("{what} written to {path}");
     }
 }
 

@@ -118,11 +118,13 @@ fn factor_only_runs_have_no_solve_phase() {
 
 #[test]
 fn sample_artifacts_match_pinned_goldens() {
-    let (trace, metrics) = salu::sample::sample_artifacts();
+    let (trace, metrics, memprof) = salu::sample::sample_artifacts();
     let root = env!("CARGO_MANIFEST_DIR");
     let want_trace = std::fs::read_to_string(format!("{root}/results/sample_trace.json"))
         .expect("run `cargo run --example planar_scaling` to create the goldens");
     let want_metrics = std::fs::read_to_string(format!("{root}/results/sample_metrics.json"))
+        .expect("run `cargo run --example planar_scaling` to create the goldens");
+    let want_memprof = std::fs::read_to_string(format!("{root}/results/sample_memprof.json"))
         .expect("run `cargo run --example planar_scaling` to create the goldens");
     // Byte-identical: the simulation and the JSON writer are deterministic.
     // On mismatch, rerun the example and review the diff like any golden.
@@ -131,9 +133,68 @@ fn sample_artifacts_match_pinned_goldens() {
         metrics, want_metrics,
         "results/sample_metrics.json is stale"
     );
-    // And the pinned trace itself must stay a valid Chrome trace.
+    assert_eq!(
+        memprof, want_memprof,
+        "results/sample_memprof.json is stale"
+    );
+    // And the pinned trace itself must stay a valid Chrome trace, now with
+    // memory counter tracks alongside the slices.
     let stats = validate_chrome_trace(&Json::parse(&want_trace).unwrap()).unwrap();
     assert!(stats.max_nesting >= 3 && stats.flow_pairs > 0);
+    assert!(
+        stats.counter_events > 0,
+        "sample trace must carry memory counter tracks"
+    );
+}
+
+#[test]
+fn memory_peak_attribution_sums_to_peak_on_every_rank() {
+    let out = traced_run(4, true);
+    for (rank, rep) in out.reports.iter().enumerate() {
+        let m = &rep.memprof;
+        assert!(m.peak_bytes > 0, "rank {rank} never allocated");
+        // 100% of the peak instant is attributed to tagged classes: the
+        // class+level breakdown is a snapshot of the ledger at peak time.
+        assert_eq!(
+            m.peak_attr_sum(),
+            m.peak_bytes,
+            "rank {rank}: attribution covers {} of {} bytes",
+            m.peak_attr_sum(),
+            m.peak_bytes
+        );
+        // The folded legacy field agrees with the ledger.
+        assert!(rep.peak_mem_bytes >= m.peak_bytes);
+    }
+}
+
+#[test]
+fn ancestor_replica_footprint_grows_with_pz() {
+    use salu::simgrid::MemClass;
+    let nx = 24;
+    let a = salu::sparsemat::matgen::grid2d_5pt(nx, nx, 0.1, 3);
+    let prep = Prepared::new(a, Geometry::Grid2d { nx, ny: nx }, 8, 8);
+    let mut prev = 0u64;
+    for pz in [1usize, 2, 4, 8] {
+        let out = factor_only(
+            &prep,
+            &SolverConfig {
+                pr: 1,
+                pc: 2,
+                pz,
+                model: TimeModel::edison_like(),
+                ..Default::default()
+            },
+        );
+        let bytes = out.peak_class_bytes(MemClass::AncestorReplica);
+        assert!(
+            bytes >= prev,
+            "AncestorReplica shrank from {prev} to {bytes} at Pz={pz}"
+        );
+        if pz > 1 {
+            assert!(bytes > 0, "replication must appear at Pz={pz}");
+        }
+        prev = bytes;
+    }
 }
 
 proptest! {
