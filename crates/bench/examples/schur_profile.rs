@@ -1,0 +1,78 @@
+//! Profiling probe: wall-clock split of the two Schur paths at varying
+//! supernode sizes on the Schur-dominated bench points.
+//!
+//! ```sh
+//! cargo run --release -p bench --example schur_profile
+//! ```
+
+use bench::run_config_with;
+use slu2d::driver::Prepared;
+use sparsemat::matgen;
+use sparsemat::testmats::{test_matrix, Geometry, Scale};
+
+fn main() {
+    for &(name, p) in &[
+        ("serena3d-xl", 1usize),
+        ("serena3d", 4),
+        ("serena3d", 1),
+        ("audikw", 4),
+    ] {
+        let (matrix, geometry) = if name == "serena3d-xl" {
+            let s = 30;
+            (
+                matgen::grid3d_7pt(s, s, s, 0.1, 15),
+                Geometry::Grid3d {
+                    nx: s,
+                    ny: s,
+                    nz: s,
+                },
+            )
+        } else {
+            let tm = test_matrix(name, Scale::Bench);
+            (tm.matrix, tm.geometry)
+        };
+        for &(leaf, maxsup) in &[(32usize, 32usize), (32, 64), (64, 64), (64, 96)] {
+            let prep = Prepared::new(matrix.clone(), geometry, leaf, maxsup);
+            slu2d::kernels::prof::take();
+            slu2d::kernels::prof::take_panel();
+            let t0 = std::time::Instant::now();
+            let out = run_config_with(&prep, p, 1, false).unwrap();
+            let wall = t0.elapsed().as_secs_f64();
+            let (pb_ref, _, _, _) = slu2d::kernels::prof::take();
+            let panel_ref = slu2d::kernels::prof::take_panel();
+            let t1 = std::time::Instant::now();
+            let out_b = run_config_with(&prep, p, 1, true).unwrap();
+            let wall_b = t1.elapsed().as_secs_f64();
+            let (pb_small, gather, gemm, scatter) = slu2d::kernels::prof::take();
+            let panel_b = slu2d::kernels::prof::take_panel();
+            // Total Schur flops (summed metric over ranks) to estimate the
+            // GEMM share of the wall, and the batched path's measured
+            // host GEMM throughput.
+            let schur_flops = out
+                .metrics()
+                .histogram("gemm.flops_per_supernode")
+                .map(|h| h.sum)
+                .unwrap_or(0.0);
+            let rate = out_b
+                .metrics()
+                .histogram("gemm.batched_flop_rate")
+                .map(|h| h.mean())
+                .unwrap_or(0.0);
+            let m = out.metrics();
+            let h = m.histogram("gemm.flops_per_supernode").unwrap();
+            println!(
+                "{name:8} P={p} leaf={leaf:2} maxsup={maxsup:2}  wall {wall:6.3}s  batched {wall_b:6.3}s ({:4.2}x)  schur_flops {schur_flops:.3e}  batched_rate {:.2} GF/s  sn_flops n={} p50={:.1e} p95={:.1e} max={:.1e}",
+                wall / wall_b,
+                rate / 1e9,
+                h.count,
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.max,
+            );
+            println!(
+                "         schur cpu-time: per-block-path {pb_ref:.3}s (panel {panel_ref:.3}s) | batched-path: small {pb_small:.3}s gather {gather:.3}s gemm {gemm:.3}s scatter {scatter:.3}s (sum {:.3}s, panel {panel_b:.3}s)",
+                pb_small + gather + gemm + scatter,
+            );
+        }
+    }
+}

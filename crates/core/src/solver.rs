@@ -37,6 +37,11 @@ pub struct SolverConfig {
     pub lookahead: usize,
     /// Static-pivoting threshold.
     pub pivot_threshold: f64,
+    /// Run Schur updates through the batched gather-GEMM-scatter path
+    /// (one register-blocked GEMM per supernode instead of one tiny GEMM
+    /// per block pair). Bit-identical factors and identical simulated
+    /// clocks either way — purely a host-performance knob (docs/perf.md).
+    pub batched_schur: bool,
     /// Iterative-refinement sweeps after the solve. SuperLU_DIST pairs
     /// static pivoting with refinement to recover accuracy lost to pivot
     /// perturbations (§VI: "SuperLU_DIST uses static pivoting with
@@ -68,6 +73,7 @@ impl Default for SolverConfig {
             pz: 1,
             lookahead: 8,
             pivot_threshold: 1e-10,
+            batched_schur: false,
             refine_steps: 0,
             solve_strategy: SolveStrategy::Distributed3d,
             model: TimeModel::edison_like(),
@@ -214,6 +220,7 @@ fn run(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64>>) -> Output3d {
     let opts = FactorOpts {
         lookahead: cfg.lookahead,
         pivot_threshold: cfg.pivot_threshold,
+        batched_schur: cfg.batched_schur,
     };
     let forest_cl = Arc::clone(&forest);
     let cfg_refine = cfg.refine_steps;

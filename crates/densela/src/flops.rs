@@ -10,6 +10,7 @@ use std::cell::Cell;
 
 thread_local! {
     static FLOPS: Cell<u64> = const { Cell::new(0) };
+    static SKIPPED: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Add `n` flops to the calling thread's counter. Called by every dense
@@ -27,6 +28,28 @@ pub fn get() -> u64 {
 /// Reset the calling thread's counter to zero and return the prior value.
 pub fn reset() -> u64 {
     FLOPS.with(|f| f.replace(0))
+}
+
+/// Record `n` flops of *skipped* work: multiply-adds a kernel avoided by
+/// short-circuiting on zero scale factors (zero-padded supernodal panel
+/// columns, structural zeros). Skipped work is never charged to the
+/// simulated clock — only [`add`] feeds compute time — but the separate
+/// ledger keeps the nominal `2mnk` total reconstructible as
+/// `get() + skipped()` for kernels that would otherwise overcount.
+#[inline]
+pub fn add_skipped(n: u64) {
+    SKIPPED.with(|f| f.set(f.get() + n));
+}
+
+/// The calling thread's accumulated skipped-flop count.
+pub fn skipped() -> u64 {
+    SKIPPED.with(|f| f.get())
+}
+
+/// Reset the calling thread's skipped-flop counter, returning the prior
+/// value.
+pub fn reset_skipped() -> u64 {
+    SKIPPED.with(|f| f.replace(0))
 }
 
 /// Flops for an `m x n x k` GEMM update (`C += A*B`): `2 m n k`.
@@ -77,6 +100,19 @@ mod tests {
         .unwrap();
         assert_eq!(other, 100);
         assert_eq!(get(), 7);
+        reset();
+    }
+
+    #[test]
+    fn skipped_counter_is_independent() {
+        reset();
+        reset_skipped();
+        add(8);
+        add_skipped(6);
+        assert_eq!(get(), 8);
+        assert_eq!(skipped(), 6);
+        assert_eq!(reset_skipped(), 6);
+        assert_eq!(get(), 8, "resetting skipped must not touch charged flops");
         reset();
     }
 

@@ -37,6 +37,7 @@ pub fn gemm(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
 
     let a_buf = a.as_slice();
     let b_buf = b.as_slice();
+    let mut skipped_pairs = 0u64;
     for k0 in (0..k).step_by(KB) {
         let k1 = (k0 + KB).min(k);
         for j in 0..n {
@@ -45,6 +46,7 @@ pub fn gemm(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
             for kk in k0..k1 {
                 let scale = alpha * bj[kk];
                 if scale == 0.0 {
+                    skipped_pairs += 1;
                     continue;
                 }
                 let ak = &a_buf[kk * m..(kk + 1) * m];
@@ -54,7 +56,11 @@ pub fn gemm(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
             }
         }
     }
-    flops::add(flops::gemm_flops(m, n, k));
+    // Charge only the multiply-adds actually performed; zero-scale columns
+    // (padded supernodal panels) go to the skipped ledger instead of the
+    // simulated clock.
+    flops::add(2 * m as u64 * ((n * k) as u64 - skipped_pairs));
+    flops::add_skipped(2 * m as u64 * skipped_pairs);
 }
 
 /// Convenience wrapper for the Schur-update form `C -= A * B`.
@@ -86,6 +92,7 @@ pub fn gemm_nt(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
         return;
     }
     let a_buf = a.as_slice();
+    let mut skipped_pairs = 0u64;
     for k0 in (0..k).step_by(KB) {
         let k1 = (k0 + KB).min(k);
         for j in 0..n {
@@ -93,6 +100,7 @@ pub fn gemm_nt(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
             for kk in k0..k1 {
                 let scale = alpha * b.at(j, kk);
                 if scale == 0.0 {
+                    skipped_pairs += 1;
                     continue;
                 }
                 let ak = &a_buf[kk * m..(kk + 1) * m];
@@ -102,7 +110,8 @@ pub fn gemm_nt(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
             }
         }
     }
-    flops::add(flops::gemm_flops(m, n, k));
+    flops::add(2 * m as u64 * ((n * k) as u64 - skipped_pairs));
+    flops::add_skipped(2 * m as u64 * skipped_pairs);
 }
 
 /// Reference triple-loop GEMM used only by tests and property checks.
@@ -194,12 +203,49 @@ mod tests {
 
     #[test]
     fn counts_flops() {
+        // Dense operands: every multiply-add runs, the full 2mnk is
+        // charged, and nothing lands on the skipped ledger.
         flops::reset();
+        flops::reset_skipped();
         let a = mk(8, 4, 5);
         let b = mk(4, 6, 6);
         let mut c = Mat::zeros(8, 6);
         gemm(1.0, &a, &b, 0.0, &mut c);
         assert_eq!(flops::reset(), flops::gemm_flops(8, 6, 4));
+        assert_eq!(flops::reset_skipped(), 0);
+    }
+
+    #[test]
+    fn zero_scale_work_is_skipped_not_charged() {
+        // A padded (all-zero) column of B contributes no arithmetic: its
+        // multiply-adds move to the skipped ledger, and charged + skipped
+        // still reconstructs the nominal 2mnk. This is the contract the
+        // batched Schur path relies on for honest simulated-clock charges
+        // on zero-padded supernodal panels.
+        let (m, n, k) = (8usize, 6usize, 4usize);
+        let a = mk(m, k, 5);
+        let mut b = mk(k, n, 6);
+        for kk in 0..k {
+            *b.at_mut(kk, 2) = 0.0; // one dead column
+        }
+        flops::reset();
+        flops::reset_skipped();
+        let mut c = Mat::zeros(m, n);
+        gemm(1.0, &a, &b, 0.0, &mut c);
+        let charged = flops::reset();
+        let skipped = flops::reset_skipped();
+        let dead = flops::gemm_flops(m, 1, k);
+        assert_eq!(charged, flops::gemm_flops(m, n, k) - dead);
+        assert_eq!(skipped, dead);
+
+        // Same contract for the transposed-B kernel.
+        flops::reset();
+        flops::reset_skipped();
+        let bt = b.transpose();
+        let mut c2 = Mat::zeros(m, n);
+        gemm_nt(1.0, &a, &bt, 0.0, &mut c2);
+        assert_eq!(flops::reset(), flops::gemm_flops(m, n, k) - dead);
+        assert_eq!(flops::reset_skipped(), dead);
     }
 
     #[test]

@@ -8,7 +8,27 @@
 //! - allreduce: reduce-to-root followed by broadcast.
 //!
 //! Tags are namespaced under high bits so collective traffic can never
-//! collide with user point-to-point tags on the same communicator.
+//! collide with user point-to-point tags on the same communicator, and
+//! every collective *phase* (the reduce half of an allreduce, the
+//! broadcast half, a barrier round, ...) owns a disjoint sub-namespace so
+//! two adjacent collectives with nearby base tags can never alias either.
+//! The layout of a collective-internal tag:
+//!
+//! ```text
+//! bit 62        : COLL_TAG     — separates collective from user traffic
+//! bits 57..=59  : phase id     — which collective phase (PH_*)
+//! bits 53..=56  : round        — per-round counter (dissemination barrier)
+//! bits 0..=52   : caller's tag — must stay below 2^53 (asserted)
+//! ```
+//!
+//! Earlier revisions derived sub-tags arithmetically (`tag + round` for
+//! barrier rounds, `tag ^ 0x5555` / `tag ^ 0x3333` for the broadcast half
+//! of allreduces), which collides when a sibling collective's base tag
+//! differs by the same small integer — e.g. two adjacent barriers with
+//! consecutive base tags, or an allreduce whose XORed broadcast tag lands
+//! on another collective's reduce tag. Dedicated bit fields make the
+//! sub-namespaces disjoint by construction; `coll_tags::namespaces_are_
+//! disjoint` pins the property.
 
 use crate::comm::Comm;
 use crate::payload::Payload;
@@ -18,6 +38,40 @@ use obs::SpanCat;
 /// High-bit namespace for collective-internal tags.
 const COLL_TAG: u64 = 1 << 62;
 
+/// Phase-id field: bits 57..=59.
+const PHASE_SHIFT: u32 = 57;
+/// Broadcast requested directly via [`Rank::bcast`].
+const PH_BCAST: u64 = 1 << PHASE_SHIFT;
+/// Reduce-to-root — both [`Rank::reduce_sum`] and the reduce half of
+/// [`Rank::allreduce_sum`] (the two are sequentially indistinguishable on
+/// a FIFO channel, and allreduce's broadcast half is namespaced apart).
+const PH_REDUCE: u64 = 2 << PHASE_SHIFT;
+/// The broadcast half of [`Rank::allreduce_sum`].
+const PH_ALLREDUCE_BCAST: u64 = 3 << PHASE_SHIFT;
+/// The reduce half of [`Rank::allreduce_max`].
+const PH_MAX_REDUCE: u64 = 4 << PHASE_SHIFT;
+/// The broadcast half of [`Rank::allreduce_max`].
+const PH_MAX_BCAST: u64 = 5 << PHASE_SHIFT;
+/// Dissemination-barrier rounds (combined with the round field).
+const PH_BARRIER: u64 = 6 << PHASE_SHIFT;
+/// Linear gather to root.
+const PH_GATHER: u64 = 7 << PHASE_SHIFT;
+
+/// Per-round counter field for the barrier: bits 53..=56, zero for every
+/// other collective. 4 bits bound `ceil(log2 p)` rounds at `p <= 2^16`.
+const ROUND_SHIFT: u32 = 53;
+const MAX_ROUNDS: u64 = 16;
+
+/// Compose a collective-internal tag: namespace bit, phase id, caller tag.
+/// The caller's tag must fit below the round field.
+fn coll_tag(phase: u64, tag: u64) -> u64 {
+    assert!(
+        tag < 1 << ROUND_SHIFT,
+        "collective base tag {tag:#x} overflows into the round/phase namespace"
+    );
+    COLL_TAG | phase | tag
+}
+
 impl Rank {
     /// Broadcast from `root` (local rank) to every member of `comm`.
     /// `data` must be `Some` on the root and is ignored elsewhere. Every
@@ -25,11 +79,14 @@ impl Rank {
     /// total, `ceil(log2 p)` on the critical path.
     pub fn bcast(&mut self, comm: &Comm, root: usize, data: Option<Payload>, tag: u64) -> Payload {
         let sp = self.span_enter(SpanCat::Coll, "bcast");
-        let out = self.bcast_inner(comm, root, data, tag);
+        let out = self.bcast_inner(comm, root, data, coll_tag(PH_BCAST, tag));
         self.span_exit(sp);
         out
     }
 
+    /// `tag` is a fully namespaced collective tag (see [`coll_tag`]); the
+    /// phase id is the caller's responsibility so allreduce variants can
+    /// keep their broadcast half disjoint from direct broadcasts.
     fn bcast_inner(
         &mut self,
         comm: &Comm,
@@ -39,7 +96,6 @@ impl Rank {
     ) -> Payload {
         let p = comm.size();
         assert!(root < p, "bcast root out of range");
-        let tag = COLL_TAG | tag;
         // Rotate so the root is relative rank 0.
         let relative = (comm.local_rank() + p - root) % p;
 
@@ -86,11 +142,12 @@ impl Rank {
         tag: u64,
     ) -> Option<Vec<f64>> {
         let sp = self.span_enter(SpanCat::Coll, "reduce");
-        let out = self.reduce_sum_inner(comm, root, data, tag);
+        let out = self.reduce_sum_inner(comm, root, data, coll_tag(PH_REDUCE, tag));
         self.span_exit(sp);
         out
     }
 
+    /// `tag` is a fully namespaced collective tag (see [`bcast_inner`]).
     fn reduce_sum_inner(
         &mut self,
         comm: &Comm,
@@ -100,7 +157,6 @@ impl Rank {
     ) -> Option<Vec<f64>> {
         let p = comm.size();
         assert!(root < p, "reduce root out of range");
-        let tag = COLL_TAG | tag;
         let relative = (comm.local_rank() + p - root) % p;
         let mut acc = data;
         let mut mask = 1usize;
@@ -129,9 +185,14 @@ impl Rank {
     /// Allreduce (sum): reduce to local rank 0, then broadcast.
     pub fn allreduce_sum(&mut self, comm: &Comm, data: Vec<f64>, tag: u64) -> Vec<f64> {
         let sp = self.span_enter(SpanCat::Coll, "allreduce");
-        let reduced = self.reduce_sum_inner(comm, 0, data, tag);
+        let reduced = self.reduce_sum_inner(comm, 0, data, coll_tag(PH_REDUCE, tag));
         let out = self
-            .bcast_inner(comm, 0, reduced.map(Payload::F64s), tag ^ 0x5555)
+            .bcast_inner(
+                comm,
+                0,
+                reduced.map(Payload::F64s),
+                coll_tag(PH_ALLREDUCE_BCAST, tag),
+            )
             .into_f64s();
         self.span_exit(sp);
         out
@@ -148,7 +209,7 @@ impl Rank {
 
     fn allreduce_max_inner(&mut self, comm: &Comm, value: f64, tag: u64) -> f64 {
         let p = comm.size();
-        let rtag = COLL_TAG | tag | (1 << 61);
+        let rtag = coll_tag(PH_MAX_REDUCE, tag);
         let relative = comm.local_rank();
         let mut acc = value;
         let mut mask = 1usize;
@@ -173,7 +234,8 @@ impl Rank {
         } else {
             None
         };
-        self.bcast_inner(comm, 0, out, tag ^ 0x3333).into_f64s()[0]
+        self.bcast_inner(comm, 0, out, coll_tag(PH_MAX_BCAST, tag))
+            .into_f64s()[0]
     }
 
     /// Dissemination barrier: `ceil(log2 p)` rounds of paired empty
@@ -192,15 +254,20 @@ impl Rank {
 
     fn barrier_inner(&mut self, comm: &Comm, tag: u64) {
         let p = comm.size();
-        let tag = COLL_TAG | tag | (1 << 60);
+        let base = coll_tag(PH_BARRIER, tag);
         let me = comm.local_rank();
         let mut round = 0u64;
         let mut dist = 1usize;
         while dist < p {
+            // The round counter lives in its own bit field, so round `r` of
+            // one barrier can never alias round 0 of a sibling barrier
+            // whose base tag happens to be `tag + r`.
+            assert!(round < MAX_ROUNDS, "barrier round counter overflow");
+            let rtag = base | (round << ROUND_SHIFT);
             let dst = (me + dist) % p;
             let src = (me + p - dist) % p;
-            self.send(comm, dst, tag + round, Payload::Empty);
-            let _ = self.recv(comm, src, tag + round);
+            self.send(comm, dst, rtag, Payload::Empty);
+            let _ = self.recv(comm, src, rtag);
             dist <<= 1;
             round += 1;
         }
@@ -231,7 +298,7 @@ impl Rank {
         tag: u64,
     ) -> Option<Vec<Vec<f64>>> {
         let p = comm.size();
-        let tag = COLL_TAG | tag | (1 << 59);
+        let tag = coll_tag(PH_GATHER, tag);
         let me = comm.local_rank();
         if me == root {
             let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
@@ -246,5 +313,74 @@ impl Rank {
             self.send(comm, root, tag, Payload::F64s(data));
             None
         }
+    }
+}
+
+#[cfg(test)]
+mod coll_tags {
+    use super::*;
+
+    const PHASES: &[(u64, &str)] = &[
+        (PH_BCAST, "bcast"),
+        (PH_REDUCE, "reduce"),
+        (PH_ALLREDUCE_BCAST, "allreduce-bcast"),
+        (PH_MAX_REDUCE, "max-reduce"),
+        (PH_MAX_BCAST, "max-bcast"),
+        (PH_BARRIER, "barrier"),
+        (PH_GATHER, "gather"),
+    ];
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        // Phase ids are pairwise distinct, nonzero, clear of the round
+        // field, clear of the caller-tag field, and below the COLL bit.
+        let round_mask = (MAX_ROUNDS - 1) << ROUND_SHIFT;
+        let user_mask = (1u64 << ROUND_SHIFT) - 1;
+        for (i, &(pa, na)) in PHASES.iter().enumerate() {
+            assert_ne!(pa, 0, "{na}");
+            assert_eq!(pa & round_mask, 0, "{na} overlaps the round field");
+            assert_eq!(pa & user_mask, 0, "{na} overlaps the caller-tag field");
+            assert!(pa < COLL_TAG, "{na} overlaps the COLL namespace bit");
+            for &(pb, nb) in &PHASES[i + 1..] {
+                assert_ne!(pa, pb, "{na} vs {nb}");
+            }
+        }
+        // The round field itself stays clear of the caller-tag bits.
+        assert_eq!(round_mask & user_mask, 0);
+    }
+
+    #[test]
+    fn sibling_collectives_with_nearby_tags_never_alias() {
+        // The regressions that motivated the bit fields: a barrier's round
+        // `r` tag versus a sibling barrier whose base tag differs by `r`
+        // (formerly `tag + round`), and an allreduce's broadcast tag versus
+        // another collective's reduce tag (formerly `tag ^ 0x5555`, which
+        // maps e.g. 0x5554 onto 0x5554 + 1).
+        for base in [0u64, 7, 0x5554, 0x5554 & !1, (12 << 48) | 3] {
+            for delta in 1u64..8 {
+                for ra in 0..MAX_ROUNDS {
+                    for rb in 0..MAX_ROUNDS {
+                        let a = coll_tag(PH_BARRIER, base) | (ra << ROUND_SHIFT);
+                        let b = coll_tag(PH_BARRIER, base + delta) | (rb << ROUND_SHIFT);
+                        assert_ne!(a, b, "barrier({base:#x}) r{ra} vs barrier+{delta} r{rb}");
+                    }
+                }
+            }
+            // An allreduce's two halves and a plain reduce/bcast with ANY
+            // base tag below the namespace can only collide phase-by-phase,
+            // so equal tags imply equal base tags within the same phase.
+            let ar_bcast = coll_tag(PH_ALLREDUCE_BCAST, base);
+            for other in [base, base ^ 0x5555, base ^ 0x3333, base + 1] {
+                assert_ne!(ar_bcast, coll_tag(PH_REDUCE, other));
+                assert_ne!(ar_bcast, coll_tag(PH_BCAST, other));
+                assert_ne!(coll_tag(PH_MAX_BCAST, base), coll_tag(PH_REDUCE, other));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows into the round/phase namespace")]
+    fn oversized_caller_tag_is_rejected() {
+        let _ = coll_tag(PH_BCAST, 1 << ROUND_SHIFT);
     }
 }

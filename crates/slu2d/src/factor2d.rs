@@ -1,8 +1,8 @@
 //! The node-list factorization driver: `dSparseLU2D(A, nList)` from the
 //! paper's Algorithm 1, with the elimination-tree lookahead of §II-F.
 
-use crate::kernels::{factor_step_panel, factor_step_schur, PanelData};
-use crate::store::BlockStore;
+use crate::kernels::{factor_step_panel, factor_step_schur, factor_step_schur_batched, PanelData};
+use crate::store::{BlockStore, SchurScratch};
 use simgrid::{Comm, Grid2d, MemClass, Rank, SpanCat};
 use std::collections::HashMap;
 use symbolic::Symbolic;
@@ -29,6 +29,13 @@ pub struct FactorOpts {
     pub lookahead: usize,
     /// Static-pivoting threshold (relative to the block's max entry).
     pub pivot_threshold: f64,
+    /// Run the Schur-complement update through the batched
+    /// gather-GEMM-scatter path ([`factor_step_schur_batched`]): owned
+    /// panel pieces are aggregated into contiguous scratch panels and
+    /// multiplied by one register-blocked GEMM per supernode instead of one
+    /// tiny GEMM per block pair. Bit-identical factors either way; this is
+    /// purely a host-performance knob (see docs/perf.md).
+    pub batched_schur: bool,
 }
 
 impl Default for FactorOpts {
@@ -36,6 +43,7 @@ impl Default for FactorOpts {
         FactorOpts {
             lookahead: 8,
             pivot_threshold: 1e-10,
+            batched_schur: false,
         }
     }
 }
@@ -76,6 +84,26 @@ pub fn factor_nodes(
     // is panel-ready when every not-yet-done elimination-tree child has been
     // processed: its column then has all updates applied.
     let children = sym.fill.children();
+
+    // Validate the `done[]` contract up front: every scheduled node's
+    // children must either be marked done (processed earlier, or owned by
+    // another grid whose contribution arrives via ancestor reduction) or be
+    // scheduled before it in this list. A violation used to surface as a
+    // bare "current node must be panel-ready" panic deep inside the loop;
+    // failing here names the offending supernode and child instead.
+    for &k in nodes {
+        for &c in &children[k] {
+            if !done[c] && nodes.binary_search(&c).is_err() {
+                panic!(
+                    "factor_nodes: done[] contract violated by caller — supernode {k} \
+                     depends on elimination-tree child {c}, which is neither marked \
+                     done nor scheduled in this node list (out-of-grid children must \
+                     be pre-marked done; their updates arrive via ancestor reduction)"
+                );
+            }
+        }
+    }
+
     let mut pending: HashMap<usize, usize> = HashMap::new();
     for &k in nodes {
         pending.insert(k, children[k].iter().filter(|&&c| !done[c]).count());
@@ -83,6 +111,9 @@ pub fn factor_nodes(
 
     let mut panels: HashMap<usize, PanelData> = HashMap::new();
     let mut paneled = vec![false; nodes.len()];
+    // Scratch arena for the batched Schur path, reused across every
+    // supernode of this node list; released (ledger-credited) at the end.
+    let mut scratch = SchurScratch::new();
 
     for idx in 0..nodes.len() {
         let k = nodes[idx];
@@ -114,7 +145,11 @@ pub fn factor_nodes(
             .remove(&k)
             .expect("current node must be panel-ready (children all done)");
         rank.with_span(SpanCat::Node, &format!("schur{k}"), |rank| {
-            factor_step_schur(rank, env, store, sym, k, &pd);
+            if env.opts.batched_schur {
+                factor_step_schur_batched(rank, env, store, sym, k, &pd, &mut scratch);
+            } else {
+                factor_step_schur(rank, env, store, sym, k, &pd);
+            }
         });
         rank.mem_credit(MemClass::SchurBuf, pd.words() * 8);
         done[k] = true;
@@ -126,5 +161,84 @@ pub fn factor_nodes(
             }
         }
     }
+    scratch.release(rank);
     outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::InitValues;
+    use ordering::{nested_dissection, Graph, NdOptions};
+    use simgrid::{Machine, TimeModel};
+    use sparsemat::matgen::grid2d_5pt;
+    use sparsemat::testmats::Geometry;
+    use std::panic::AssertUnwindSafe;
+    use std::sync::Arc;
+
+    fn setup(k: usize) -> (sparsemat::Csr, Symbolic) {
+        let a = grid2d_5pt(k, k, 0.1, 0);
+        let g = Graph::from_matrix(&a);
+        let tree = nested_dissection(
+            &g,
+            NdOptions {
+                leaf_size: 8,
+                geometry: Geometry::Grid2d { nx: k, ny: k },
+                ..Default::default()
+            },
+        );
+        let pa = a.permute_sym(&tree.perm).symmetrize_pattern();
+        let sym = Symbolic::analyze(&pa, &tree, 8);
+        (pa, sym)
+    }
+
+    /// A caller that schedules a node whose children are neither done nor
+    /// scheduled must be rejected at entry with the offending supernode and
+    /// child named — not with the old bare "must be panel-ready" panic from
+    /// deep inside the loop.
+    #[test]
+    fn done_contract_violation_names_node_and_child() {
+        let (pa, sym) = setup(8);
+        let sym = Arc::new(sym);
+        let pa = Arc::new(pa);
+        let root_sn = sym.nsup() - 1;
+        let child = *sym.fill.children()[root_sn]
+            .first()
+            .expect("root supernode must have a child in this fixture");
+        let m = Machine::new(1, TimeModel::zero());
+        let sym_cl = Arc::clone(&sym);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            m.run(move |rank| {
+                let env = FactorEnv {
+                    grid: simgrid::Grid2d::new(1, 1),
+                    my_r: 0,
+                    my_c: 0,
+                    row: rank.world(),
+                    col: rank.world(),
+                    opts: FactorOpts::default(),
+                };
+                let mut store = BlockStore::build(
+                    &pa,
+                    &sym_cl,
+                    &env.grid,
+                    0,
+                    0,
+                    &|_| true,
+                    InitValues::FromMatrix,
+                );
+                // Schedule only the root; nothing is done: contract violated.
+                let mut done = vec![false; sym_cl.nsup()];
+                factor_nodes(rank, &env, &mut store, &sym_cl, &[root_sn], &mut done);
+            })
+        }))
+        .expect_err("violating the done[] contract must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload must be a string");
+        assert!(msg.contains("done[] contract violated"), "{msg}");
+        assert!(msg.contains(&format!("supernode {root_sn}")), "{msg}");
+        assert!(msg.contains(&format!("child {child}")), "{msg}");
+    }
 }

@@ -200,6 +200,68 @@ impl BlockStore {
     }
 }
 
+/// Reusable per-rank scratch arena for the batched gather-GEMM-scatter
+/// Schur update: one contiguous panel each for the gathered L-blocks and
+/// the gathered U-panel pieces (the Schur targets are updated in place by
+/// the tiled GEMM, so they need no scratch). The panels are reshaped in
+/// place per supernode (keeping their allocations), and the arena's
+/// high-water footprint is charged to [`MemClass::SchurBuf`] on the owning
+/// rank's memory ledger — charged as it grows, credited once when the
+/// factorization loop releases the arena.
+#[derive(Debug)]
+pub struct SchurScratch {
+    /// Stacked L-blocks: `(sum of owned row widths) x width(k)`.
+    pub l: Mat,
+    /// Concatenated U pieces: `width(k) x (sum of owned col widths)`.
+    pub u: Mat,
+    /// Bytes currently charged to the ledger (the arena's high water).
+    charged_bytes: u64,
+}
+
+impl Default for SchurScratch {
+    fn default() -> Self {
+        SchurScratch {
+            l: Mat::zeros(0, 0),
+            u: Mat::zeros(0, 0),
+            charged_bytes: 0,
+        }
+    }
+}
+
+impl SchurScratch {
+    pub fn new() -> Self {
+        SchurScratch::default()
+    }
+
+    /// Shape the panels for one supernode's update (`m` gathered rows,
+    /// supernode width `w`, `n` gathered columns), reusing prior
+    /// allocations; contents are unspecified until the gathers fill them.
+    /// Ledger charge grows monotonically to the arena's high water;
+    /// shrinking shapes keep the charge (the backing memory stays
+    /// allocated).
+    pub fn shape(&mut self, rank: &mut Rank, m: usize, w: usize, n: usize) {
+        // Every entry of every panel is overwritten by the gathers before
+        // the GEMM reads it, so stale values need not be cleared.
+        self.l.reshape_for_overwrite(m, w);
+        self.u.reshape_for_overwrite(w, n);
+        let bytes = 8 * (m * w + w * n) as u64;
+        if bytes > self.charged_bytes {
+            rank.mem_charge(MemClass::SchurBuf, bytes - self.charged_bytes);
+            self.charged_bytes = bytes;
+        }
+    }
+
+    /// Release the arena: credit the full high-water charge back to the
+    /// ledger. Must run at the same tree level as the charges (the arena
+    /// lives within one `factor_nodes` call).
+    pub fn release(&mut self, rank: &mut Rank) {
+        if self.charged_bytes > 0 {
+            rank.mem_credit(MemClass::SchurBuf, self.charged_bytes);
+            self.charged_bytes = 0;
+        }
+    }
+}
+
 /// Pack a list of `(block_id, Mat)` into one wire payload: the shape of a
 /// SuperLU packed panel message. Meta layout: `[count, id0, rows0, cols0,
 /// id1, ...]`, data: concatenated column-major buffers.

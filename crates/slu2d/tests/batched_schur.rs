@@ -1,0 +1,177 @@
+//! The batched gather-GEMM-scatter Schur path must be bitwise identical to
+//! the per-block path: same factors, down to the last ULP, for every
+//! supernode partition and grid shape. This is the contract that lets
+//! `FactorOpts::batched_schur` be a pure host-performance knob — simulated
+//! clocks, traces, and numerics are unchanged.
+
+use proptest::prelude::*;
+use simgrid::topology::build_grid_comms;
+use simgrid::{Grid3d, Machine, TimeModel};
+use slu2d::driver::Prepared;
+use slu2d::factor2d::{factor_nodes, FactorEnv, FactorOpts};
+use slu2d::store::{BlockStore, InitValues};
+use sparsemat::matgen::{grid2d_5pt, random_band};
+use sparsemat::testmats::Geometry;
+use std::sync::Arc;
+
+/// Factor `prep` on a simulated `pr x pc` grid and return every rank's
+/// post-factorization block store.
+fn factor_stores(prep: &Prepared, pr: usize, pc: usize, batched: bool) -> Vec<BlockStore> {
+    let grid3 = Grid3d::new(pr, pc, 1);
+    let machine = Machine::new(pr * pc, TimeModel::zero());
+    let pa = Arc::clone(&prep.pa);
+    let sym = Arc::clone(&prep.sym);
+    let out = machine.run(move |rank| {
+        let comms = build_grid_comms(rank, &grid3);
+        let (my_r, my_c, _) = comms.coords;
+        let env = FactorEnv {
+            grid: grid3.grid2d,
+            my_r,
+            my_c,
+            row: comms.row,
+            col: comms.col,
+            opts: FactorOpts {
+                batched_schur: batched,
+                ..Default::default()
+            },
+        };
+        let mut store = BlockStore::build(
+            &pa,
+            &sym,
+            &grid3.grid2d,
+            my_r,
+            my_c,
+            &|_| true,
+            InitValues::FromMatrix,
+        );
+        let nodes: Vec<usize> = (0..sym.nsup()).collect();
+        let mut done = vec![false; sym.nsup()];
+        factor_nodes(rank, &env, &mut store, &sym, &nodes, &mut done);
+        store
+    });
+    out.results
+}
+
+/// Every block of every rank must agree to the bit between the two paths.
+fn assert_stores_bitwise_equal(per_block: &[BlockStore], batched: &[BlockStore], ctx: &str) {
+    assert_eq!(per_block.len(), batched.len(), "{ctx}: rank count");
+    for (rid, (a, b)) in per_block.iter().zip(batched).enumerate() {
+        let mut keys_a: Vec<_> = a.keys().collect();
+        let mut keys_b: Vec<_> = b.keys().collect();
+        keys_a.sort_unstable();
+        keys_b.sort_unstable();
+        assert_eq!(keys_a, keys_b, "{ctx}: rank {rid} block sets differ");
+        for (i, j) in keys_a {
+            let ma = a.get(i, j).unwrap().as_slice();
+            let mb = b.get(i, j).unwrap().as_slice();
+            assert_eq!(
+                ma.len(),
+                mb.len(),
+                "{ctx}: rank {rid} block ({i},{j}) shape"
+            );
+            for (e, (va, vb)) in ma.iter().zip(mb).enumerate() {
+                assert_eq!(
+                    va.to_bits(),
+                    vb.to_bits(),
+                    "{ctx}: rank {rid} block ({i},{j}) elem {e}: {va} vs {vb}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_matches_per_block_on_pinned_grids() {
+    let a = grid2d_5pt(14, 14, 0.1, 42);
+    let prep = Prepared::new(a, Geometry::Grid2d { nx: 14, ny: 14 }, 8, 8);
+    for (pr, pc) in [(1, 1), (2, 2), (1, 4), (3, 2)] {
+        let per_block = factor_stores(&prep, pr, pc, false);
+        let batched = factor_stores(&prep, pr, pc, true);
+        assert_stores_bitwise_equal(&per_block, &batched, &format!("grid {pr}x{pc}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10, // each case factors the matrix twice on simulated ranks
+        .. ProptestConfig::default()
+    })]
+
+    /// Bitwise identity holds for random matrices, random supernode
+    /// partitions (leaf size and maxsup vary the partition), and random
+    /// grid shapes.
+    #[test]
+    fn batched_matches_per_block_everywhere(
+        n in 30usize..90,
+        bw in 1usize..6,
+        fill in 0.3f64..0.9,
+        seed in 0u64..1000,
+        leaf in 4usize..16,
+        maxsup in 2usize..24,
+        pr in 1usize..4,
+        pc in 1usize..4,
+    ) {
+        let a = random_band(n, bw, fill, seed);
+        let prep = Prepared::new(a, Geometry::General, leaf, maxsup);
+        let per_block = factor_stores(&prep, pr, pc, false);
+        let batched = factor_stores(&prep, pr, pc, true);
+        assert_stores_bitwise_equal(
+            &per_block,
+            &batched,
+            &format!("n={n} bw={bw} seed={seed} leaf={leaf} maxsup={maxsup} grid {pr}x{pc}"),
+        );
+    }
+}
+
+/// One-off diagnostic: fraction of zero-scale (skipped) work in the Schur
+/// updates of a serena3d-like 3D problem. Run with `--ignored --nocapture`.
+#[test]
+#[ignore]
+fn zero_scale_fraction_probe() {
+    let s = 20;
+    let a = sparsemat::matgen::grid3d_7pt(s, s, s, 0.1, 15);
+    let prep = Prepared::new(
+        a,
+        Geometry::Grid3d {
+            nx: s,
+            ny: s,
+            nz: s,
+        },
+        32,
+        32,
+    );
+    let grid3 = Grid3d::new(1, 1, 1);
+    let machine = Machine::new(1, TimeModel::zero());
+    let pa = Arc::clone(&prep.pa);
+    let sym = Arc::clone(&prep.sym);
+    let out = machine.run(move |rank| {
+        let comms = build_grid_comms(rank, &grid3);
+        let (my_r, my_c, _) = comms.coords;
+        let env = FactorEnv {
+            grid: grid3.grid2d,
+            my_r,
+            my_c,
+            row: comms.row,
+            col: comms.col,
+            opts: FactorOpts::default(),
+        };
+        let mut store = BlockStore::build(
+            &pa,
+            &sym,
+            &grid3.grid2d,
+            my_r,
+            my_c,
+            &|_| true,
+            InitValues::FromMatrix,
+        );
+        let nodes: Vec<usize> = (0..sym.nsup()).collect();
+        let mut done = vec![false; sym.nsup()];
+        factor_nodes(rank, &env, &mut store, &sym, &nodes, &mut done);
+        (densela::flops::get(), densela::flops::skipped())
+    });
+    let (performed, skipped) = out.results[0];
+    println!(
+        "performed {performed:.3e} skipped {skipped:.3e} zero-fraction {:.1}%",
+        100.0 * skipped as f64 / (performed + skipped) as f64
+    );
+}

@@ -31,6 +31,7 @@ struct Args {
     mem_out: Option<String>,
     conformance: Option<String>,
     sanitize: bool,
+    batched_schur: bool,
     lint_trace: Vec<String>,
 }
 
@@ -69,6 +70,8 @@ fn usage() -> ! {
          \x20                    '-' = stdout. Exit 1 on failure.\n\
          \x20 --sanitize         run under the communication sanitizer\n\
          \x20                    (race/deadlock/leak detection; see docs/commcheck.md)\n\
+         \x20 --batched-schur    use the batched gather-GEMM-scatter Schur path\n\
+         \x20                    (bitwise-identical factors; see docs/perf.md)\n\
          \n\
          standalone (no matrix needed):\n\
          \x20 --lint-trace FILE  offline-lint a trace written by --trace-out:\n\
@@ -98,6 +101,7 @@ fn parse_args() -> Args {
         mem_out: None,
         conformance: None,
         sanitize: false,
+        batched_schur: false,
         lint_trace: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -132,6 +136,7 @@ fn parse_args() -> Args {
             "--mem-out" => args.mem_out = Some(val("--mem-out")),
             "--conformance" => args.conformance = Some(val("--conformance")),
             "--sanitize" => args.sanitize = true,
+            "--batched-schur" => args.batched_schur = true,
             "--lint-trace" => args.lint_trace.push(val("--lint-trace")),
             "--condest" => args.condest = true,
             "--chol" => args.chol = true,
@@ -291,6 +296,7 @@ fn main() {
         refine_steps: args.refine,
         tracing: args.trace_out.is_some(),
         sanitize: args.sanitize,
+        batched_schur: args.batched_schur,
         ..Default::default()
     };
     let t0 = std::time::Instant::now();

@@ -1,0 +1,69 @@
+//! End-to-end regression for `SolverConfig::batched_schur`: flipping the
+//! batched gather-GEMM-scatter Schur path on must not change anything the
+//! simulation computes — the solution is bitwise identical and the message
+//! trace (every send, receive, span, timestamp, payload size, simulated
+//! clock) is byte-identical. The one legitimate difference is the
+//! `SchurBuf` memory-counter track: the batched path's gather arena is
+//! charged to the ledger (that is the point of the accounting), so its
+//! samples are larger while the update runs.
+
+use salu::prelude::*;
+
+fn run_once(batched: bool) -> (Vec<f64>, String) {
+    let nx = 14;
+    let a = salu::sparsemat::matgen::grid2d_5pt(nx, nx, 0.1, 9);
+    let x_true: Vec<f64> = (0..a.nrows).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let b = a.matvec(&x_true);
+    let prep = Prepared::new(a, Geometry::Grid2d { nx, ny: nx }, 8, 8);
+    let cfg = SolverConfig {
+        pr: 2,
+        pc: 1,
+        pz: 2,
+        model: TimeModel::edison_like(),
+        tracing: true,
+        refine_steps: 1,
+        batched_schur: batched,
+        ..Default::default()
+    };
+    let out = factor_and_solve(&prep, &cfg, Some(b));
+    let trace = out.chrome_trace().expect("tracing was on").pretty();
+    let x = out.x.expect("solution");
+    (x, trace)
+}
+
+/// Strip the `SchurBuf` samples from a pretty-printed trace's memory
+/// counter events, keeping everything else (including the sample *count*,
+/// so a path that added or dropped counter events would still fail).
+fn without_schurbuf_samples(trace: &str) -> String {
+    trace
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("\"SchurBuf\":"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn batched_schur_is_observationally_identical() {
+    let (x_off, t_off) = run_once(false);
+    let (x_on, t_on) = run_once(true);
+    assert_eq!(x_off.len(), x_on.len());
+    for (i, (a, b)) in x_off.iter().zip(&x_on).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "solution component {i} differs: {a} vs {b}"
+        );
+    }
+    // Same number of trace lines: the batched path emits exactly the same
+    // events, only SchurBuf counter *values* may differ.
+    assert_eq!(
+        t_off.lines().count(),
+        t_on.lines().count(),
+        "batched Schur path changed the event structure"
+    );
+    assert_eq!(
+        without_schurbuf_samples(&t_off),
+        without_schurbuf_samples(&t_on),
+        "batched Schur path changed the simulated schedule"
+    );
+}
