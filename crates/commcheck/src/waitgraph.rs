@@ -102,6 +102,17 @@ impl WaitGraph {
         slots[rank].state = RankState::Done;
     }
 
+    /// True when every rank in `targets` has terminated (marked done).
+    /// A blocked receive whose possible senders are all done can never
+    /// complete; the fault layer uses this to resolve waits on dead peers
+    /// as cascade failures instead of hanging until the timeout backstop.
+    pub fn all_done(&self, targets: &[usize]) -> bool {
+        let slots = self.slots.lock().unwrap();
+        targets
+            .iter()
+            .all(|&t| matches!(slots[t].state, RankState::Done))
+    }
+
     /// The confirmed deadlock report, if the detector found one. Cheap to
     /// poll: a relaxed atomic guards the lock.
     pub fn deadlock_report(&self) -> Option<String> {
@@ -310,6 +321,18 @@ mod tests {
         let rep = g.deadlock_report().expect("deadlock must be confirmed");
         assert!(rep.contains("deadlock detected"), "{rep}");
         assert!(rep.contains("ctx=7"), "{rep}");
+    }
+
+    #[test]
+    fn all_done_tracks_termination() {
+        let g = WaitGraph::new(3);
+        assert!(!g.all_done(&[1, 2]));
+        g.mark_done(1);
+        assert!(!g.all_done(&[1, 2]));
+        assert!(g.all_done(&[1]));
+        g.mark_done(2);
+        assert!(g.all_done(&[1, 2]));
+        assert!(g.all_done(&[]), "vacuously true for no targets");
     }
 
     #[test]

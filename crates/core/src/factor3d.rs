@@ -12,7 +12,7 @@
 
 use crate::forest::EtreeForest;
 use simgrid::topology::GridComms;
-use simgrid::{Grid3d, Rank};
+use simgrid::{FailKind, Grid3d, Rank};
 use slu2d::factor2d::{factor_nodes, FactorEnv, FactorOpts};
 use slu2d::store::{pack_blocks, unpack_blocks, BlockStore};
 use symbolic::Symbolic;
@@ -60,6 +60,12 @@ fn owned_ancestor_blocks(
 /// value-initialization predicates (see [`crate::solver`]). Returns per-rank
 /// counters; the factored panels are left distributed exactly as the paper's
 /// "final state": each supernode's factors on the grid that factored it.
+///
+/// A z-line reduction whose message cannot be received (stalled peer past
+/// the receive deadline, dead peer, deadlock) surfaces as a structured
+/// [`FailKind::Solver`] naming the phase, supernode, and forest level,
+/// instead of poisoning a channel — the caller fails the rank with it
+/// (`rank.fail`), keeping machine-level failure attribution intact.
 pub fn factor_3d(
     rank: &mut Rank,
     grid3: &Grid3d,
@@ -68,7 +74,7 @@ pub fn factor_3d(
     sym: &Symbolic,
     forest: &EtreeForest,
     opts: FactorOpts,
-) -> Outcome3d {
+) -> Result<Outcome3d, FailKind> {
     let l = forest.l;
     assert_eq!(grid3.pz, forest.pz(), "grid/forest Pz mismatch");
     let (my_r, my_c, my_z) = comms.coords;
@@ -136,14 +142,14 @@ pub fn factor_3d(
         let k = my_z / step;
         if k.is_multiple_of(2) {
             let src_z = my_z + step;
-            reduce_ancestors(rank, comms, store, sym, forest, lvl, my_z, src_z, false);
+            reduce_ancestors(rank, comms, store, sym, forest, lvl, my_z, src_z, false)?;
         } else {
             let dest_z = my_z - step;
-            reduce_ancestors(rank, comms, store, sym, forest, lvl, my_z, dest_z, true);
+            reduce_ancestors(rank, comms, store, sym, forest, lvl, my_z, dest_z, true)?;
         }
         rank.span_exit(lvl_span);
     }
-    outcome
+    Ok(outcome)
 }
 
 /// One side of the level-`lvl` ancestor reduction between this rank and its
@@ -162,7 +168,7 @@ fn reduce_ancestors(
     my_z: usize,
     peer_z: usize,
     i_am_sender: bool,
-) {
+) -> Result<(), FailKind> {
     let l = forest.l;
     let grid = simgrid::Grid2d {
         pr: comms.col.size(),
@@ -195,16 +201,29 @@ fn reduce_ancestors(
                 // (class AncestorReplica, level `l_a`).
                 rank.mem_credit_at(simgrid::MemClass::AncestorReplica, l_a as u32, sent_bytes);
             } else {
-                let payload = rank.recv(&comms.zline, peer_z, tag);
+                let payload =
+                    rank.recv_checked(&comms.zline, peer_z, tag)
+                        .map_err(|e| FailKind::Solver {
+                            phase: "reduce".to_string(),
+                            supernode: Some(s),
+                            level: Some(l_a),
+                            detail: format!("z-line reduction recv from z={peer_z} failed: {e}"),
+                        })?;
                 let nsup = sym.nsup();
                 for (code, m) in unpack_blocks(payload) {
                     let (i, j) = (code / nsup, code % nsup);
                     store
                         .get_mut(i, j)
-                        .unwrap_or_else(|| panic!("reduction target ({i},{j}) missing"))
+                        .ok_or_else(|| FailKind::Solver {
+                            phase: "reduce".to_string(),
+                            supernode: Some(s),
+                            level: Some(l_a),
+                            detail: format!("reduction target ({i},{j}) missing"),
+                        })?
                         .add_assign(&m);
                 }
             }
         }
     }
+    Ok(())
 }

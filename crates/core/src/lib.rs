@@ -49,5 +49,8 @@ pub mod symbolic3d;
 
 pub use factor3d::factor_3d;
 pub use forest::EtreeForest;
-pub use solver::{factor_and_solve, factor_only, Output3d, SolverConfig};
+pub use solver::{
+    factor_and_solve, factor_only, try_factor_and_solve, try_factor_only, Output3d, SolverConfig,
+    SolverError,
+};
 pub use symbolic3d::distributed_symbolic;

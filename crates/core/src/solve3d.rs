@@ -23,7 +23,7 @@
 
 use crate::forest::EtreeForest;
 use simgrid::topology::GridComms;
-use simgrid::{Grid3d, Payload, Rank};
+use simgrid::{FailKind, Grid3d, Payload, Rank};
 use slu2d::factor2d::{FactorEnv, FactorOpts};
 use slu2d::solve2d::{apply_ancestor_x, backward_nodes, forward_nodes, DistSolveState};
 use slu2d::store::BlockStore;
@@ -37,6 +37,11 @@ const T_X_DOWN: u64 = 13 << 48;
 /// them. `b` must be the permuted right-hand side, available on every rank.
 /// Returns this rank's partial solution (zero where other ranks own the
 /// segments); the caller sums over *all* ranks of the machine.
+///
+/// Like [`crate::factor3d::factor_3d`], a z-line transfer that cannot
+/// complete (or carries the wrong payload kind) surfaces as a structured
+/// [`FailKind::Solver`] naming the sweep and forest level, for the caller
+/// to fail the rank with.
 #[allow(clippy::too_many_arguments)]
 pub fn solve_3d(
     rank: &mut Rank,
@@ -48,7 +53,7 @@ pub fn solve_3d(
     opts: FactorOpts,
     uindex: &Arc<Vec<Vec<usize>>>,
     b: &[f64],
-) -> Vec<f64> {
+) -> Result<Vec<f64>, FailKind> {
     let l = forest.l;
     let (my_r, my_c, my_z) = comms.coords;
     let env = FactorEnv {
@@ -81,8 +86,21 @@ pub fn solve_3d(
         let ancestors = ancestor_supernodes(forest, sym, my_z, lvl);
         if k.is_multiple_of(2) {
             let src_z = my_z + step;
-            let payload = rank.recv(&comms.zline, src_z, T_ACC_RED | lvl as u64);
-            let data = payload.into_f64s();
+            let fwd_err = |detail: String| FailKind::Solver {
+                phase: "solve-fwd".to_string(),
+                supernode: None,
+                level: Some(lvl),
+                detail,
+            };
+            let data = rank
+                .recv_checked(&comms.zline, src_z, T_ACC_RED | lvl as u64)
+                .map_err(|e| {
+                    fwd_err(format!(
+                        "accumulator reduction recv from z={src_z} failed: {e}"
+                    ))
+                })?
+                .try_into_f64s()
+                .map_err(|e| fwd_err(format!("accumulator reduction from z={src_z}: {e}")))?;
             let mut off = 0;
             for &s in &ancestors {
                 for i in sym.part.ranges[s].clone() {
@@ -121,8 +139,17 @@ pub fn solve_3d(
         let born_here = my_z != 0 && k % 2 == 1;
         if born_here {
             let dest_z = my_z - step;
-            let payload = rank.recv(&comms.zline, dest_z, T_X_DOWN | lvl as u64);
-            let (meta, data) = payload.into_packed();
+            let bwd_err = |detail: String| FailKind::Solver {
+                phase: "solve-bwd".to_string(),
+                supernode: None,
+                level: Some(lvl),
+                detail,
+            };
+            let (meta, data) = rank
+                .recv_checked(&comms.zline, dest_z, T_X_DOWN | lvl as u64)
+                .map_err(|e| bwd_err(format!("ancestor-x recv from z={dest_z} failed: {e}")))?
+                .try_into_packed()
+                .map_err(|e| bwd_err(format!("ancestor-x from z={dest_z}: {e}")))?;
             let mut off = 0;
             for &s in &meta {
                 let w = sym.part.width(s);
@@ -166,7 +193,7 @@ pub fn solve_3d(
         }
         rank.span_exit(sweep_span);
     }
-    x_out
+    Ok(x_out)
 }
 
 /// All supernodes in the ancestor chain above level `lvl` for grid `z`,

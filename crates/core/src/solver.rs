@@ -6,7 +6,10 @@ use crate::forest::EtreeForest;
 use crate::gather::gather_factors_to_grid0;
 use crate::solve3d::solve_3d;
 use simgrid::topology::build_grid_comms;
-use simgrid::{Grid3d, Machine, RankReport, TimeModel, TrafficSummary};
+use simgrid::{
+    FailKind, FaultPlan, Grid3d, Machine, MachineFailure, RankReport, RetryPolicy, TimeModel,
+    TrafficSummary,
+};
 use slu2d::driver::Prepared;
 use slu2d::factor2d::FactorOpts;
 use slu2d::solve2d::solve_nodes;
@@ -26,7 +29,7 @@ pub enum SolveStrategy {
 }
 
 /// Configuration of one 3D run: grid shape plus tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SolverConfig {
     /// 2D layer shape: `pr x pc` processes per grid.
     pub pr: usize,
@@ -63,6 +66,22 @@ pub struct SolverConfig {
     /// report lands in [`Output3d::sanitizer`]; findings panic at the end
     /// of the run so CI cannot miss them.
     pub sanitize: bool,
+    /// Seeded deterministic fault plan (`simgrid::faultlab`): message
+    /// drop/dup/delay rules, rank stall windows, link degradation. `None`
+    /// (the default) costs nothing. Parse one from the `salu --faults`
+    /// grammar with [`FaultPlan::parse`].
+    pub fault_plan: Option<FaultPlan>,
+    /// Ack/retransmit recovery for droppable sends. With recovery on, a
+    /// faulted run delivers the exact fault-free payload sequence: factors
+    /// stay *bitwise identical* (see [`Output3d::factor_digest`]), only
+    /// simulated clocks shift. `None` means drops are simply lost — the
+    /// run then fails structurally (deadlock or leak naming the edge).
+    pub retry: Option<RetryPolicy>,
+    /// Simulated-time receive deadline in seconds: a receive whose message
+    /// arrives later than this fails the rank with a structured error
+    /// naming phase/supernode/level, replacing the wall-clock
+    /// `SALU_RECV_TIMEOUT_SECS` backstop as the primary stall detector.
+    pub recv_deadline: Option<f64>,
 }
 
 impl Default for SolverConfig {
@@ -79,9 +98,73 @@ impl Default for SolverConfig {
             model: TimeModel::edison_like(),
             tracing: false,
             sanitize: false,
+            fault_plan: None,
+            retry: None,
+            recv_deadline: None,
         }
     }
 }
+
+/// A structured solver failure from [`try_factor_and_solve`] /
+/// [`try_factor_only`]: the machine's *primary* (earliest non-cascade)
+/// rank failure, so the report names the original cause — e.g. the stalled
+/// z-layer a `reduce` recv was waiting on — not whichever rank died in the
+/// cascade.
+#[derive(Clone, Debug)]
+pub struct SolverError {
+    /// World rank of the primary failure.
+    pub rank: usize,
+    /// Traffic phase active when it failed (`fact`, `reduce`, `solve`, ...).
+    pub phase: String,
+    /// Structured cause (recv deadline, payload mismatch, solver stage...).
+    pub kind: FailKind,
+    /// Number of ranks that failed in the primary's wake.
+    pub cascades: usize,
+}
+
+impl SolverError {
+    fn from_machine(mf: MachineFailure) -> Self {
+        let primary = mf.primary();
+        SolverError {
+            rank: primary.rank,
+            phase: primary.phase.clone(),
+            kind: primary.kind.clone(),
+            cascades: mf.failures.len() - 1,
+        }
+    }
+
+    /// Supernode named by a solver-stage failure, if any.
+    pub fn supernode(&self) -> Option<usize> {
+        match &self.kind {
+            FailKind::Solver { supernode, .. } => *supernode,
+            _ => None,
+        }
+    }
+
+    /// Forest level named by a solver-stage failure, if any.
+    pub fn level(&self) -> Option<usize> {
+        match &self.kind {
+            FailKind::Solver { level, .. } => *level,
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "solver failed on rank {} (phase `{}`): {}",
+            self.rank, self.phase, self.kind
+        )?;
+        if self.cascades > 0 {
+            write!(f, " (+{} cascaded rank failure(s))", self.cascades)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SolverError {}
 
 /// Everything a 3D run reports.
 pub struct Output3d {
@@ -105,6 +188,12 @@ pub struct Output3d {
     /// [`SolverConfig::sanitize`] set. A sanitized run with findings
     /// panics before this is ever returned, so a present report is clean.
     pub sanitizer: Option<simgrid::CommReport>,
+    /// Order-independent digest over every rank's factored blocks (sorted
+    /// block keys, then raw f64 bit patterns). Two runs produced *bitwise
+    /// identical* L/U factors iff their digests match — the chaos suite's
+    /// recovery guarantee ("faults with recovery change clocks, never
+    /// values") is asserted through this.
+    pub factor_digest: u64,
 }
 
 impl Output3d {
@@ -191,6 +280,30 @@ impl Output3d {
     }
 }
 
+/// FNV-1a over a block store's sorted keys and raw f64 bit patterns:
+/// equal digests ⇔ bitwise-equal local factors.
+fn store_digest(store: &BlockStore) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut keys: Vec<(usize, usize)> = store.keys().collect();
+    keys.sort_unstable();
+    let mut h = OFFSET;
+    let mix = |h: &mut u64, v: u64| {
+        for byte in v.to_le_bytes() {
+            *h ^= u64::from(byte);
+            *h = h.wrapping_mul(PRIME);
+        }
+    };
+    for (i, j) in keys {
+        mix(&mut h, i as u64);
+        mix(&mut h, j as u64);
+        for &v in store.get(i, j).expect("listed key").as_slice() {
+            mix(&mut h, v.to_bits());
+        }
+    }
+    h
+}
+
 /// Factor only (no solve): the measurement entry point for every
 /// factorization experiment.
 pub fn factor_only(prep: &Prepared, cfg: &SolverConfig) -> Output3d {
@@ -203,7 +316,36 @@ pub fn factor_and_solve(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64
     run(prep, cfg, rhs)
 }
 
+/// Like [`factor_only`], but a failing run yields a structured
+/// [`SolverError`] instead of a panic.
+pub fn try_factor_only(prep: &Prepared, cfg: &SolverConfig) -> Result<Output3d, SolverError> {
+    try_run(prep, cfg, None).map_err(SolverError::from_machine)
+}
+
+/// Like [`factor_and_solve`], but a failing run yields a structured
+/// [`SolverError`] — the primary rank failure with its phase, and for
+/// solver-stage failures the supernode and forest level — instead of a
+/// panic.
+pub fn try_factor_and_solve(
+    prep: &Prepared,
+    cfg: &SolverConfig,
+    rhs: Option<Vec<f64>>,
+) -> Result<Output3d, SolverError> {
+    try_run(prep, cfg, rhs).map_err(SolverError::from_machine)
+}
+
 fn run(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64>>) -> Output3d {
+    match try_run(prep, cfg, rhs) {
+        Ok(out) => out,
+        Err(mf) => panic!("{}", mf.render()),
+    }
+}
+
+fn try_run(
+    prep: &Prepared,
+    cfg: &SolverConfig,
+    rhs: Option<Vec<f64>>,
+) -> Result<Output3d, MachineFailure> {
     assert!(cfg.pz.is_power_of_two(), "Pz must be a power of two");
     let grid3 = Grid3d::new(cfg.pr, cfg.pc, cfg.pz);
     let mut machine = Machine::new(grid3.size(), cfg.model);
@@ -212,6 +354,15 @@ fn run(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64>>) -> Output3d {
     }
     if cfg.sanitize {
         machine = machine.with_sanitizer();
+    }
+    if let Some(plan) = &cfg.fault_plan {
+        machine = machine.with_fault_plan(plan.clone());
+    }
+    if let Some(retry) = cfg.retry {
+        machine = machine.with_retry(retry);
+    }
+    if let Some(deadline) = cfg.recv_deadline {
+        machine = machine.with_recv_deadline(deadline);
     }
     let forest = Arc::new(EtreeForest::build(&prep.tree, &prep.sym, cfg.pz));
     let pa = Arc::clone(&prep.pa);
@@ -226,7 +377,7 @@ fn run(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64>>) -> Output3d {
     let cfg_refine = cfg.refine_steps;
     let strategy = cfg.solve_strategy;
 
-    let out = machine.run(move |rank| {
+    let out = machine.try_run(move |rank| {
         let comms = build_grid_comms(rank, &grid3);
         let (my_r, my_c, my_z) = comms.coords;
 
@@ -254,7 +405,15 @@ fn run(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64>>) -> Output3d {
         );
         let store_words = store.total_words();
 
-        let outcome = factor_3d(rank, &grid3, &comms, &mut store, &sym, &forest_cl, opts);
+        // A structured stage failure ends this rank in an orderly way: the
+        // machine's failure board attributes the run to it (not to the
+        // ranks that cascade), and `try_run` surfaces it as the error.
+        let outcome = match factor_3d(rank, &grid3, &comms, &mut store, &sym, &forest_cl, opts) {
+            Ok(o) => o,
+            Err(kind) => rank.fail(kind),
+        };
+        // Digest before any solve: GatherToGrid0 mutates the store.
+        let factor_digest = store_digest(&store);
 
         let refine_steps = cfg_refine;
         let x_partial = rhs_p.as_ref().and_then(|b| {
@@ -263,10 +422,11 @@ fn run(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64>>) -> Output3d {
                 SolveStrategy::Distributed3d => {
                     let world = rank.world();
                     let uindex = slu2d::solve2d::transpose_index(&sym);
-                    let solve_once = |rank: &mut simgrid::Rank, rhs: &[f64]| {
-                        solve_3d(
-                            rank, &grid3, &comms, &store, &sym, &forest_cl, opts, &uindex, rhs,
-                        )
+                    let solve_once = |rank: &mut simgrid::Rank, rhs: &[f64]| match solve_3d(
+                        rank, &grid3, &comms, &store, &sym, &forest_cl, opts, &uindex, rhs,
+                    ) {
+                        Ok(xp) => xp,
+                        Err(kind) => rank.fail(kind),
                     };
                     let xp = solve_once(rank, b);
                     // Every rank materializes the full solution so iterative
@@ -328,9 +488,10 @@ fn run(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64>>) -> Output3d {
             outcome.perturbations,
             outcome.lookahead_hits,
             store_words,
+            factor_digest,
             x_partial,
         )
-    });
+    })?;
 
     if let Some(rep) = &out.sanitizer {
         assert!(
@@ -343,12 +504,17 @@ fn run(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64>>) -> Output3d {
     let lookahead_hits = out.results.iter().map(|r| r.1).sum();
     let max_store_words = out.results.iter().map(|r| r.2).max().unwrap_or(0);
     let total_store_words = out.results.iter().map(|r| r.2).sum();
+    // Fold the per-rank digests in world-rank order (the order is part of
+    // the identity: rank r's factors must match rank r's).
+    let factor_digest = out.results.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, r| {
+        (h.rotate_left(17) ^ r.3).wrapping_mul(0x0000_0100_0000_01b3)
+    });
     let x = out
         .results
         .into_iter()
-        .find_map(|r| r.3)
+        .find_map(|r| r.4)
         .map(|px| prep.unpermute_solution(&px));
-    Output3d {
+    Ok(Output3d {
         x,
         reports: out.reports,
         perturbations,
@@ -357,7 +523,8 @@ fn run(prep: &Prepared, cfg: &SolverConfig, rhs: Option<Vec<f64>>) -> Output3d {
         total_store_words,
         forest: Arc::try_unwrap(forest).unwrap_or_else(|a| (*a).clone()),
         sanitizer: out.sanitizer,
-    }
+        factor_digest,
+    })
 }
 
 #[cfg(test)]

@@ -28,6 +28,10 @@ pub enum SpanCat {
     Node,
     /// A collective operation (broadcast, reduction, barrier, gather).
     Coll,
+    /// A fault-injection event (retransmit burst, stall window) from
+    /// `simgrid::faultlab`, so chaos runs show their injected/recovered
+    /// events directly in the Chrome trace.
+    Fault,
     /// Anything else.
     Other,
 }
@@ -39,6 +43,7 @@ impl SpanCat {
             SpanCat::Phase => "phase",
             SpanCat::Node => "node",
             SpanCat::Coll => "coll",
+            SpanCat::Fault => "fault",
             SpanCat::Other => "other",
         }
     }

@@ -165,7 +165,7 @@ impl Rank {
                 let child = relative | mask;
                 if child < p {
                     let src = (child + root) % p;
-                    let v = self.recv(comm, src, tag).into_f64s();
+                    let v = self.recv_f64s(comm, src, tag);
                     assert_eq!(v.len(), acc.len(), "reduce_sum operand length mismatch");
                     for (a, b) in acc.iter_mut().zip(v) {
                         *a += b;
@@ -218,7 +218,7 @@ impl Rank {
             if relative & mask == 0 {
                 let child = relative | mask;
                 if child < p {
-                    let v = self.recv(comm, child, rtag).into_f64s();
+                    let v = self.recv_f64s(comm, child, rtag);
                     acc = acc.max(v[0]);
                 }
             } else {
@@ -305,7 +305,7 @@ impl Rank {
             out[root] = data;
             for src in 0..p {
                 if src != root {
-                    out[src] = self.recv(comm, src, tag).into_f64s();
+                    out[src] = self.recv_f64s(comm, src, tag);
                 }
             }
             Some(out)

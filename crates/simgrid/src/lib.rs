@@ -47,6 +47,7 @@
 
 pub mod coll;
 pub mod comm;
+pub mod faultlab;
 pub mod machine;
 pub mod payload;
 pub mod rank;
@@ -56,8 +57,12 @@ pub mod topology;
 pub mod trace;
 
 pub use comm::Comm;
+pub use faultlab::{
+    EdgeFilter, FailKind, FailureBoard, FaultAction, FaultPlan, FaultRule, LinkRule,
+    MachineFailure, RankFailure, RecvError, RetryPolicy, StallRule,
+};
 pub use machine::{Machine, RunResult};
-pub use payload::Payload;
+pub use payload::{KindMismatch, Payload, PayloadKind};
 pub use rank::Rank;
 pub use stats::{merged_metrics, PhaseCounter, RankReport, TrafficSummary};
 pub use timemodel::TimeModel;

@@ -1,7 +1,10 @@
 //! The machine driver: spawns one thread per simulated rank, runs the SPMD
 //! closure, and collects results plus per-rank reports.
 
-use crate::rank::{Msg, Rank};
+use crate::faultlab::{
+    FailKind, FailureBoard, FaultPlan, MachineFailure, OrderlyAbort, RankFailure, RetryPolicy,
+};
+use crate::rank::{FaultCtx, Msg, Rank};
 use crate::stats::{merged_metrics, RankReport, TrafficSummary};
 use crate::timemodel::TimeModel;
 use commcheck::{CommReport, SanState, WaitGraph};
@@ -14,12 +17,19 @@ use std::time::Instant;
 /// A simulated distributed-memory machine with a fixed rank count and
 /// machine model. Cheap to construct; each [`Machine::run`] spawns fresh
 /// threads and channels.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Machine {
     nranks: usize,
     model: TimeModel,
     tracing: bool,
     sanitize: bool,
+    /// Seeded fault plan injected at the send path; `None` = healthy run.
+    faults: Option<Arc<FaultPlan>>,
+    /// Ack/retransmit recovery for droppable sends; `None` = drops are lost.
+    retry: Option<RetryPolicy>,
+    /// Simulated-time receive deadline (seconds); `None` = wait forever
+    /// (up to the wall-clock backstop).
+    recv_deadline: Option<f64>,
 }
 
 /// The outcome of one SPMD run.
@@ -115,6 +125,9 @@ impl Machine {
             model,
             tracing: false,
             sanitize: false,
+            faults: None,
+            retry: None,
+            recv_deadline: None,
         }
     }
 
@@ -136,6 +149,36 @@ impl Machine {
         self
     }
 
+    /// Install a seeded fault plan (see [`crate::faultlab`]): messages
+    /// matching its rules are dropped, duplicated, or delayed, ranks stall,
+    /// and links degrade — all deterministically from the plan's seed. The
+    /// wait-for-graph deadlock detector runs whenever faults are on (even
+    /// without the sanitizer), so an unrecovered drop aborts the run with a
+    /// cycle report instead of hanging until the wall-clock backstop.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Enable ack/retransmit recovery for droppable sends (see
+    /// [`RetryPolicy`]). With recovery on, a faulted run delivers the same
+    /// payload sequence as the fault-free run — results stay bitwise
+    /// identical, only clocks shift.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Fail a receive whose matching message arrives more than `secs`
+    /// *simulated* seconds after the receiver started waiting. This is the
+    /// primary stall-detection mechanism — deterministic and schedule-
+    /// independent, unlike the wall-clock `SALU_RECV_TIMEOUT_SECS`
+    /// backstop, which stays only as a last resort.
+    pub fn with_recv_deadline(mut self, secs: f64) -> Self {
+        self.recv_deadline = Some(secs);
+        self
+    }
+
     /// Number of simulated ranks.
     pub fn nranks(&self) -> usize {
         self.nranks
@@ -147,13 +190,47 @@ impl Machine {
     }
 
     /// Run `f` as an SPMD program: one OS thread per rank, every thread
-    /// calls `f(&mut rank)`. Blocks until all ranks return. A panic on any
-    /// rank propagates (poisoning the run) so protocol bugs fail tests.
+    /// calls `f(&mut rank)`. Blocks until all ranks return. A failure on
+    /// any rank panics with the rank-attributed report of
+    /// [`MachineFailure::render`] (primary cause first, cascades listed) so
+    /// protocol bugs fail tests. Use [`Machine::try_run`] to handle the
+    /// failure structurally instead.
     pub fn run<T, F>(&self, f: F) -> RunResult<T>
     where
         T: Send + 'static,
         F: Fn(&mut Rank) -> T + Send + Sync + 'static,
     {
+        match self.try_run(f) {
+            Ok(r) => r,
+            Err(mf) => panic!("{}", mf.render()),
+        }
+    }
+
+    /// Like [`Machine::run`], but a failing rank yields a structured
+    /// [`MachineFailure`] instead of a panic. Failures are collected on a
+    /// machine-wide board; the *primary* (earliest non-cascade) entry names
+    /// the original failing rank even when other ranks die in its wake —
+    /// the panic-collection reports the cause, not the cascade.
+    pub fn try_run<T, F>(&self, f: F) -> Result<RunResult<T>, MachineFailure>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Rank) -> T + Send + Sync + 'static,
+    {
+        // An orderly rank shutdown unwinds with a typed payload that the
+        // join loop interprets via the failure board; the default panic
+        // hook would still print "thread panicked" plus a backtrace for
+        // it. Silence exactly that payload, once per process, and keep
+        // the previous hook for genuine panics.
+        static ORDERLY_HOOK: std::sync::Once = std::sync::Once::new();
+        ORDERLY_HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if !info.payload().is::<crate::faultlab::OrderlyAbort>() {
+                    prev(info);
+                }
+            }));
+        });
+
         let n = self.nranks;
         let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -166,17 +243,19 @@ impl Machine {
         let f = Arc::new(f);
         let model = self.model;
         let tracing = self.tracing;
+        let board = Arc::new(FailureBoard::new());
 
         // The wait-for graph always exists (it feeds the receive-timeout
-        // backstop's dump); the sanitizer state and its detector thread are
-        // created only on demand.
+        // backstop's dump); the sanitizer state is created only on demand.
+        // The deadlock detector runs for sanitized *and* faulted runs: an
+        // unrecovered drop must abort with a cycle report, not hang.
         let wait_graph = Arc::new(WaitGraph::new(n));
         let san: Option<Arc<SanState>> = if self.sanitize {
             Some(Arc::new(SanState::new()))
         } else {
             None
         };
-        let _detector = san.as_ref().map(|_| {
+        let _detector = (self.sanitize || self.faults.is_some()).then(|| {
             let graph = Arc::clone(&wait_graph);
             let stop = Arc::new(AtomicBool::new(false));
             let stop2 = Arc::clone(&stop);
@@ -190,12 +269,19 @@ impl Machine {
             }
         });
 
+        let fctx = FaultCtx {
+            faults: self.faults.clone(),
+            retry: self.retry,
+            recv_deadline: self.recv_deadline,
+            board: Arc::clone(&board),
+        };
         let mut handles = Vec::with_capacity(n);
         for (world_rank, inbox) in receivers.into_iter().enumerate() {
             let senders = Arc::clone(&senders);
             let f = Arc::clone(&f);
             let graph = Arc::clone(&wait_graph);
             let san = san.clone();
+            let fctx = fctx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("simrank-{world_rank}"))
                 // Factorization recursion and big local buffers: give each
@@ -208,34 +294,72 @@ impl Machine {
                         graph: Arc::clone(&graph),
                         rank: world_rank,
                     };
+                    let board = Arc::clone(&fctx.board);
                     let started = Instant::now();
-                    let mut rank =
-                        Rank::new(world_rank, n, senders, inbox, model, tracing, graph, san);
-                    let out = f(&mut rank);
-                    let wall = started.elapsed().as_secs_f64();
-                    (out, rank.into_report(wall))
+                    let mut rank = Rank::new(
+                        world_rank, n, senders, inbox, model, tracing, graph, san, fctx,
+                    );
+                    let out =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rank)));
+                    match out {
+                        Ok(v) => {
+                            let wall = started.elapsed().as_secs_f64();
+                            Some((v, rank.into_report(wall)))
+                        }
+                        Err(e) => {
+                            // Orderly aborts already recorded themselves on
+                            // the board; anything else is a raw panic.
+                            if e.downcast_ref::<OrderlyAbort>().is_none() {
+                                let message = e
+                                    .downcast_ref::<String>()
+                                    .cloned()
+                                    .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                                board.record(RankFailure {
+                                    rank: world_rank,
+                                    phase: String::new(),
+                                    kind: FailKind::Panic { message },
+                                    seq: 0,
+                                });
+                            }
+                            None
+                        }
+                    }
                 })
                 .expect("failed to spawn simulated rank");
             handles.push(handle);
         }
+        // The template context holds a board reference; release it so the
+        // post-join `Arc::try_unwrap` sees the sole owner.
+        drop(fctx);
 
         let mut results = Vec::with_capacity(n);
         let mut reports = Vec::with_capacity(n);
         for (world_rank, h) in handles.into_iter().enumerate() {
             match h.join() {
-                Ok((out, report)) => {
+                Ok(Some((out, report))) => {
                     results.push(out);
                     reports.push(report);
                 }
-                Err(e) => {
-                    let msg = e
-                        .downcast_ref::<String>()
-                        .map(|s| s.as_str())
-                        .or_else(|| e.downcast_ref::<&str>().copied())
-                        .unwrap_or("<non-string panic>");
-                    panic!("simulated rank {world_rank} panicked: {msg}");
-                }
+                // Failure already recorded on the board.
+                Ok(None) => {}
+                // catch_unwind swallows unwinding panics; a join error here
+                // means the thread aborted some other way.
+                Err(_) => board.record(RankFailure {
+                    rank: world_rank,
+                    phase: String::new(),
+                    kind: FailKind::Panic {
+                        message: "rank thread terminated abnormally".to_string(),
+                    },
+                    seq: 0,
+                }),
             }
+        }
+        let board = Arc::try_unwrap(board).expect("failure board still shared after join");
+        if board.has_failure() {
+            return Err(MachineFailure {
+                failures: board.into_failures(),
+            });
         }
         // All rank threads are joined: nothing is in flight, so whatever is
         // still in the outstanding table is a genuine leak.
@@ -244,11 +368,11 @@ impl Machine {
                 .expect("sanitizer state still shared after join")
                 .into_report()
         });
-        RunResult {
+        Ok(RunResult {
             results,
             reports,
             sanitizer,
-        }
+        })
     }
 }
 

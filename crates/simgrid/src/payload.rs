@@ -18,6 +18,35 @@ pub enum Payload {
     Packed { meta: Vec<usize>, data: Vec<f64> },
 }
 
+/// The variant of a [`Payload`], for structured kind-mismatch reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadKind {
+    Empty,
+    F64s,
+    Idx,
+    Packed,
+}
+
+/// A typed unwrap found the wrong payload variant — a protocol error in
+/// SPMD code. Carried up to the rank-failure machinery, which attaches the
+/// message provenance (src/ctx/tag/phase); see `Rank::recv_f64s` and
+/// friends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KindMismatch {
+    pub expected: PayloadKind,
+    pub got: PayloadKind,
+}
+
+impl std::fmt::Display for KindMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "expected {:?} payload, got {:?}",
+            self.expected, self.got
+        )
+    }
+}
+
 impl Payload {
     /// Number of 8-byte words this payload occupies on the wire.
     pub fn words(&self) -> u64 {
@@ -29,38 +58,63 @@ impl Payload {
         }
     }
 
-    /// Unwrap an `F64s` payload; panics on other variants (a protocol error
-    /// in SPMD code, always a bug).
+    /// Which variant this payload is.
+    pub fn kind(&self) -> PayloadKind {
+        match self {
+            Payload::Empty => PayloadKind::Empty,
+            Payload::F64s(_) => PayloadKind::F64s,
+            Payload::Idx(_) => PayloadKind::Idx,
+            Payload::Packed { .. } => PayloadKind::Packed,
+        }
+    }
+
+    /// Unwrap an `F64s` payload, reporting the actual kind on mismatch.
+    pub fn try_into_f64s(self) -> Result<Vec<f64>, KindMismatch> {
+        match self {
+            Payload::F64s(v) => Ok(v),
+            other => Err(KindMismatch {
+                expected: PayloadKind::F64s,
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// Unwrap an `Idx` payload, reporting the actual kind on mismatch.
+    pub fn try_into_idx(self) -> Result<Vec<usize>, KindMismatch> {
+        match self {
+            Payload::Idx(v) => Ok(v),
+            other => Err(KindMismatch {
+                expected: PayloadKind::Idx,
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// Unwrap a `Packed` payload, reporting the actual kind on mismatch.
+    pub fn try_into_packed(self) -> Result<(Vec<usize>, Vec<f64>), KindMismatch> {
+        match self {
+            Payload::Packed { meta, data } => Ok((meta, data)),
+            other => Err(KindMismatch {
+                expected: PayloadKind::Packed,
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// Unwrap an `F64s` payload; panics on other variants. Prefer the
+    /// provenance-carrying `Rank::recv_f64s` at receive sites.
     pub fn into_f64s(self) -> Vec<f64> {
-        match self {
-            Payload::F64s(v) => v,
-            other => panic!("expected F64s payload, got {:?}", kind(&other)),
-        }
+        self.try_into_f64s().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Unwrap an `Idx` payload.
+    /// Unwrap an `Idx` payload; panics on other variants.
     pub fn into_idx(self) -> Vec<usize> {
-        match self {
-            Payload::Idx(v) => v,
-            other => panic!("expected Idx payload, got {:?}", kind(&other)),
-        }
+        self.try_into_idx().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Unwrap a `Packed` payload.
+    /// Unwrap a `Packed` payload; panics on other variants.
     pub fn into_packed(self) -> (Vec<usize>, Vec<f64>) {
-        match self {
-            Payload::Packed { meta, data } => (meta, data),
-            other => panic!("expected Packed payload, got {:?}", kind(&other)),
-        }
-    }
-}
-
-fn kind(p: &Payload) -> &'static str {
-    match p {
-        Payload::Empty => "Empty",
-        Payload::F64s(_) => "F64s",
-        Payload::Idx(_) => "Idx",
-        Payload::Packed { .. } => "Packed",
+        self.try_into_packed().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -87,5 +141,16 @@ mod tests {
     #[should_panic(expected = "expected F64s")]
     fn wrong_unwrap_panics() {
         Payload::Empty.into_f64s();
+    }
+
+    #[test]
+    fn try_unwrap_reports_both_kinds() {
+        let e = Payload::Idx(vec![1]).try_into_f64s().unwrap_err();
+        assert_eq!(e.expected, PayloadKind::F64s);
+        assert_eq!(e.got, PayloadKind::Idx);
+        assert_eq!(e.to_string(), "expected F64s payload, got Idx");
+        assert_eq!(Payload::F64s(vec![2.0]).try_into_f64s().unwrap(), vec![2.0]);
+        assert!(Payload::Empty.try_into_idx().is_err());
+        assert!(Payload::Empty.try_into_packed().is_err());
     }
 }

@@ -2,6 +2,10 @@
 //! counters, spans, and metrics.
 
 use crate::comm::Comm;
+use crate::faultlab::{
+    FailKind, FailureBoard, FaultDecision, FaultPlan, OrderlyAbort, RankFailure, RecvError,
+    RetryPolicy, StallRule,
+};
 use crate::payload::Payload;
 use crate::stats::{PhaseCounter, RankReport};
 use crate::timemodel::TimeModel;
@@ -49,6 +53,12 @@ pub(crate) struct Msg {
     /// Sender's vector clock at the send, piggybacked when the sanitizer is
     /// on. `None` (no allocation, no work) otherwise.
     pub clock: Option<Box<VClock>>,
+    /// Link-degradation factor in effect on this edge (1.0 = healthy);
+    /// the receiver charges the same degraded transfer cost the sender did.
+    pub link: f64,
+    /// True for a transport-level duplicate injected under recovery: the
+    /// receiver filters it at intake before protocol matching.
+    pub injected_dup: bool,
     pub payload: Payload,
 }
 
@@ -94,6 +104,34 @@ pub struct Rank {
     san: Option<Arc<SanState>>,
     /// This rank's vector clock (happens-before), present iff `san` is.
     vclock: Option<VClock>,
+    /// Seeded fault plan, present when the machine runs with
+    /// [`crate::Machine::with_fault_plan`]. `None` costs nothing on the
+    /// send path.
+    faults: Option<Arc<FaultPlan>>,
+    /// Ack/retransmit recovery for droppable sends
+    /// ([`crate::Machine::with_retry`]); `None` means drops are lost.
+    retry: Option<RetryPolicy>,
+    /// Simulated-time receive deadline ([`crate::Machine::with_recv_deadline`]):
+    /// a receive whose matching message arrives later than this many
+    /// simulated seconds after the receiver started waiting fails with
+    /// [`RecvError::Deadline`] instead of silently absorbing the stall.
+    recv_deadline: Option<f64>,
+    /// Machine-wide failure collection (primary vs cascade attribution).
+    board: Arc<FailureBoard>,
+    /// This rank's stall windows from the plan, sorted by trigger time.
+    my_stalls: Vec<StallRule>,
+    /// Index of the next unapplied stall window.
+    stall_idx: usize,
+}
+
+/// Fault-layer wiring shared by every rank; built once per run by the
+/// machine.
+#[derive(Clone)]
+pub(crate) struct FaultCtx {
+    pub faults: Option<Arc<FaultPlan>>,
+    pub retry: Option<RetryPolicy>,
+    pub recv_deadline: Option<f64>,
+    pub board: Arc<FailureBoard>,
 }
 
 impl Rank {
@@ -107,7 +145,13 @@ impl Rank {
         tracing: bool,
         wait_graph: Arc<WaitGraph>,
         san: Option<Arc<SanState>>,
+        fctx: FaultCtx,
     ) -> Self {
+        let my_stalls = fctx
+            .faults
+            .as_ref()
+            .map(|p| p.stalls_for(world_rank))
+            .unwrap_or_default();
         Rank {
             world_rank,
             world_size,
@@ -135,7 +179,28 @@ impl Rank {
             wait_graph,
             vclock: san.as_ref().map(|_| VClock::new(world_size)),
             san,
+            faults: fctx.faults,
+            retry: fctx.retry,
+            recv_deadline: fctx.recv_deadline,
+            board: fctx.board,
+            my_stalls,
+            stall_idx: 0,
         }
+    }
+
+    /// Record this rank's failure on the machine's board and abort the
+    /// rank thread in an orderly way: the machine attributes the run
+    /// failure to the first *primary* (non-cascade) entry, so a rank dying
+    /// here never masks the original cause. Public so solver layers can
+    /// surface structured [`FailKind::Solver`] failures.
+    pub fn fail(&self, kind: FailKind) -> ! {
+        self.board.record(RankFailure {
+            rank: self.world_rank,
+            phase: self.phase.clone(),
+            kind,
+            seq: 0,
+        });
+        std::panic::panic_any(OrderlyAbort);
     }
 
     /// Record one machine-level activity interval, if tracing.
@@ -317,29 +382,188 @@ impl Rank {
         self.traffic.entry(self.phase.clone()).or_default()
     }
 
+    /// Apply any stall window whose trigger time has been reached: the
+    /// rank pauses for the window's length in simulated time, recorded as
+    /// a `Wait` activity under a `fault` span. Stalls are applied at the
+    /// send path — the fault layer's injection point.
+    fn apply_stalls(&mut self) {
+        while let Some(&StallRule { at, secs, .. }) = self.my_stalls.get(self.stall_idx) {
+            if self.clock < at {
+                break;
+            }
+            self.stall_idx += 1;
+            let sp = self.span_enter(SpanCat::Fault, "stall");
+            let t0 = self.clock;
+            self.clock += secs;
+            self.t_comm += secs;
+            self.record(ActivityKind::Wait, t0, self.clock, None, 0, None);
+            self.span_exit(sp);
+            self.metrics.inc("fault.injected.stall", 1);
+            self.metrics.observe("fault.stall_secs", secs);
+        }
+    }
+
     /// Send `payload` to local rank `dst` of `comm` with `tag`.
     /// Non-blocking (eager buffering), like `MPI_Send` under the eager
     /// protocol. Charges `α + β·words` of simulated time to this rank.
+    ///
+    /// This is the injection point of the fault layer
+    /// ([`crate::Machine::with_fault_plan`]): a matching plan may stall the
+    /// rank, drop/duplicate/delay the message, or degrade the link. With
+    /// recovery on ([`crate::Machine::with_retry`]) dropped attempts are
+    /// retransmitted after a simulated timeout with exponential backoff —
+    /// the receiver sees exactly the fault-free payload sequence, so
+    /// results stay bitwise identical and only clocks shift.
     pub fn send(&mut self, comm: &Comm, dst: usize, tag: u64, payload: Payload) {
+        if !self.my_stalls.is_empty() {
+            self.apply_stalls();
+        }
+        let dst_world = comm.world_rank_of(dst);
+        let (decision, link) = match &self.faults {
+            Some(plan) => {
+                let max_drops = match &self.retry {
+                    Some(r) => r.max_attempts.saturating_sub(1),
+                    None => 1,
+                };
+                (
+                    plan.decide(
+                        self.world_rank,
+                        dst_world,
+                        comm.ctx,
+                        tag,
+                        self.msg_seq,
+                        max_drops,
+                    ),
+                    plan.link_factor(self.world_rank, dst_world, comm.ctx, tag),
+                )
+            }
+            None => (FaultDecision::default(), 1.0),
+        };
+        if decision.drops > 0 {
+            self.metrics
+                .inc("fault.injected.drop", u64::from(decision.drops));
+            match self.retry {
+                Some(retry) => {
+                    // Recovery: each lost attempt costs its transfer charge
+                    // plus the (backed-off) ack timeout, all in simulated
+                    // time; then the loop below sends the attempt that gets
+                    // through. Transport-internal attempts carry no message
+                    // identity — the offline linter pairs sends and
+                    // receives by uid, and these are never received.
+                    let words = payload.words();
+                    let sp = self.span_enter(SpanCat::Fault, "retransmit");
+                    for attempt in 0..decision.drops {
+                        let cost = self.model.xfer_on(words, link);
+                        let wait = retry.timeout * retry.backoff.powi(attempt as i32);
+                        let t0 = self.clock;
+                        self.clock += cost;
+                        self.record(
+                            ActivityKind::Send,
+                            t0,
+                            self.clock,
+                            Some(dst_world),
+                            words,
+                            None,
+                        );
+                        let tw = self.clock;
+                        self.clock += wait;
+                        self.record(ActivityKind::Wait, tw, self.clock, Some(dst_world), 0, None);
+                        self.t_comm += cost + wait;
+                        let c = self.counter();
+                        c.sent_msgs += 1;
+                        c.sent_words += words;
+                        self.metrics.inc("fault.recovered.retransmit", 1);
+                        self.metrics.observe("fault.retry_wait_secs", wait);
+                    }
+                    self.span_exit(sp);
+                }
+                None => {
+                    // No recovery: the message vanishes in the network. The
+                    // sender cannot tell, so it pays and registers the send
+                    // normally — the sanitizer is left with an outstanding
+                    // send that is never received (a leak naming this
+                    // edge), and the receiver usually deadlocks.
+                    self.send_physical(
+                        comm.ctx, dst_world, tag, payload, link, 0.0, true, false, false,
+                    );
+                    return;
+                }
+            }
+        }
+        if decision.delay > 0.0 {
+            self.metrics.inc("fault.injected.delay", 1);
+            self.metrics.observe("fault.delay_secs", decision.delay);
+        }
+        let dup_payload = decision.dup.then(|| payload.clone());
+        self.send_physical(
+            comm.ctx,
+            dst_world,
+            tag,
+            payload,
+            link,
+            decision.delay,
+            true,
+            false,
+            true,
+        );
+        if let Some(p) = dup_payload {
+            self.metrics.inc("fault.injected.dup", 1);
+            // The duplicate rides right behind the original. With recovery
+            // on it is transport-internal (flagged, filtered at the
+            // receiver's intake, invisible to the sanitizer); without
+            // recovery it is a real protocol-level extra message the
+            // sanitizer reports as a leak.
+            let recovering = self.retry.is_some();
+            self.send_physical(
+                comm.ctx,
+                dst_world,
+                tag,
+                p,
+                link,
+                decision.delay,
+                !recovering,
+                recovering,
+                true,
+            );
+        }
+    }
+
+    /// One physical message: charge the sender, record the activity, hand
+    /// the message to the destination channel. `visible` sends carry their
+    /// message identity and register with the sanitizer; transport-internal
+    /// ones (recovered duplicates) do neither. `deliver: false` models an
+    /// unrecovered network drop: the sender pays and registers as usual but
+    /// the message never reaches the destination channel. A closed
+    /// destination channel means the peer thread died mid-run — an orderly
+    /// cascade failure, not a process abort.
+    #[allow(clippy::too_many_arguments)]
+    fn send_physical(
+        &mut self,
+        ctx: u64,
+        dst_world: usize,
+        tag: u64,
+        payload: Payload,
+        link: f64,
+        delay: f64,
+        visible: bool,
+        injected_dup: bool,
+        deliver: bool,
+    ) {
         let words = payload.words();
-        let cost = self.model.xfer(words);
+        let cost = self.model.xfer_on(words, link);
         let t0 = self.clock;
         self.clock += cost;
         self.t_comm += cost;
         let uid = ((self.world_rank as u64) << 40) | self.msg_seq;
         self.msg_seq += 1;
-        let dst_world = comm.world_rank_of(dst);
+        let info = visible.then_some(MsgInfo { uid, ctx, tag });
         self.record(
             ActivityKind::Send,
             t0,
             self.clock,
             Some(dst_world),
             words,
-            Some(MsgInfo {
-                uid,
-                ctx: comm.ctx,
-                tag,
-            }),
+            info,
         );
         self.metrics.inc("msg.sent", 1);
         self.metrics.observe("msg.send_words", words as f64);
@@ -351,14 +575,14 @@ impl Rank {
         // Sanitizer: the send is an event — tick, register in the
         // outstanding table, and piggyback the clock on the message.
         let clock = match (&self.san, &mut self.vclock) {
-            (Some(san), Some(vc)) => {
+            (Some(san), Some(vc)) if visible => {
                 vc.tick(self.world_rank);
                 san.on_send(
                     uid,
                     SendRec {
                         src: self.world_rank,
                         dst: dst_world,
-                        ctx: comm.ctx,
+                        ctx,
                         tag,
                         words,
                         phase: self.phase.clone(),
@@ -369,18 +593,23 @@ impl Rank {
             }
             _ => None,
         };
+        if !deliver {
+            return;
+        }
         let msg = Msg {
             src_world: self.world_rank,
-            ctx: comm.ctx,
+            ctx,
             tag,
-            arrival: self.clock,
+            arrival: self.clock + delay,
             uid,
             clock,
+            link,
+            injected_dup,
             payload,
         };
-        self.senders[dst_world]
-            .send(msg)
-            .expect("simulated machine shut down while sending");
+        if self.senders[dst_world].send(msg).is_err() {
+            self.fail(FailKind::PeerDown { peer: dst_world });
+        }
     }
 
     /// Buffer a message that did not match the receive in progress.
@@ -395,13 +624,26 @@ impl Rank {
         self.pending.get_mut(&key).and_then(|q| q.pop_front())
     }
 
+    /// Filter one message pulled off the channel. Transport-level
+    /// duplicates injected under recovery are consumed here, before any
+    /// protocol matching or stashing — the protocol layer never sees them.
+    fn intake(&mut self, m: Msg) -> Option<Msg> {
+        if m.injected_dup {
+            self.metrics.inc("fault.recovered.dup_filtered", 1);
+            return None;
+        }
+        Some(m)
+    }
+
     /// Wait on the inbox for a message satisfying `accept`, buffering
     /// everything else. The caller has already checked `pending`. While
     /// genuinely blocked (channel empty), this rank is registered in the
     /// machine's wait-for graph: the deadlock detector reads it, and a
     /// confirmed deadlock published there aborts the wait immediately with
-    /// the cycle report. The receive timeout stays as a backstop and its
-    /// panic names the whole wait-for-graph state.
+    /// the cycle report. A wait whose possible senders have all terminated
+    /// after another rank failed resolves as a cascade
+    /// ([`RecvError::PeerFailed`]); the wall-clock timeout stays as the
+    /// last backstop and its report names the whole wait-for-graph state.
     fn blocked_recv(
         &mut self,
         ctx: u64,
@@ -409,11 +651,12 @@ impl Rank {
         targets: Vec<usize>,
         wildcard: bool,
         accept: impl Fn(&Msg) -> bool,
-    ) -> Msg {
+    ) -> Result<Msg, RecvError> {
         // Fast path: drain whatever is already queued without blocking.
         while let Ok(m) = self.inbox.try_recv() {
+            let Some(m) = self.intake(m) else { continue };
             if accept(&m) {
-                return m;
+                return Ok(m);
             }
             self.stash(m);
         }
@@ -425,7 +668,7 @@ impl Rank {
         self.wait_graph.block(
             self.world_rank,
             WaitInfo {
-                targets,
+                targets: targets.clone(),
                 wildcard,
                 ctx,
                 tag,
@@ -433,41 +676,92 @@ impl Rank {
             },
         );
         let deadline = Instant::now() + recv_timeout();
-        let msg = loop {
+        let result = loop {
             if let Some(report) = self.wait_graph.deadlock_report() {
-                panic!("rank {}: aborted by commcheck\n{report}", self.world_rank);
+                break Err(RecvError::Deadlock { report });
             }
             match self.inbox.recv_timeout(BLOCK_SLICE) {
-                Ok(m) if accept(&m) => break m,
-                Ok(m) => self.stash(m),
+                Ok(m) => {
+                    let Some(m) = self.intake(m) else { continue };
+                    if accept(&m) {
+                        break Ok(m);
+                    }
+                    self.stash(m);
+                }
                 Err(_) => {
-                    if Instant::now() >= deadline {
-                        panic!(
-                            "rank {}: recv timeout waiting for (ctx={}, src={}, tag={})\n{}",
-                            self.world_rank,
+                    if self.board.has_failure() && self.wait_graph.all_done(&targets) {
+                        // Every rank that could satisfy this receive has
+                        // terminated. Drain once more — a dying peer may
+                        // have pushed the match right before exiting — then
+                        // give up as a cascade of the primary failure.
+                        let mut matched = None;
+                        while let Ok(m) = self.inbox.try_recv() {
+                            let Some(m) = self.intake(m) else { continue };
+                            if matched.is_none() && accept(&m) {
+                                matched = Some(m);
+                            } else {
+                                self.stash(m);
+                            }
+                        }
+                        if let Some(m) = matched {
+                            break Ok(m);
+                        }
+                        break Err(RecvError::PeerFailed {
+                            origin: self.board.primary_rank().unwrap_or(self.world_rank),
+                            src: src_desc,
                             ctx,
-                            src_desc,
                             tag,
-                            self.wait_graph.dump()
-                        );
+                        });
+                    }
+                    if Instant::now() >= deadline {
+                        break Err(RecvError::WallTimeout {
+                            src: src_desc,
+                            ctx,
+                            tag,
+                            dump: self.wait_graph.dump(),
+                        });
                     }
                 }
             }
         };
         self.wait_graph.unblock(self.world_rank);
-        msg
+        result
     }
 
     /// Receiver-side accounting shared by [`Rank::recv`] and
     /// [`Rank::recv_any`]: clock advance, trace activities, traffic
     /// counters, and the sanitizer's clock merge.
-    fn complete_recv(&mut self, msg: Msg) -> Payload {
+    fn complete_recv(&mut self, msg: Msg) -> Result<Payload, RecvError> {
         let src_world = msg.src_world;
         let words = msg.payload.words();
         // Receiver-side charge: wait until the message is available, then
         // pay the transfer cost.
         let ready = msg.arrival.max(self.clock);
-        let done = ready + self.model.xfer(words);
+        if let Some(d) = self.recv_deadline {
+            let waited = ready - self.clock;
+            if waited > d {
+                // The message did arrive, so the sanitizer's outstanding
+                // entry must still retire — the reportable failure is the
+                // deadline, not a spurious message leak.
+                if let Some(san) = &self.san {
+                    if let Some(vc) = &mut self.vclock {
+                        if let Some(sender_clock) = &msg.clock {
+                            vc.merge(sender_clock);
+                        }
+                        vc.tick(self.world_rank);
+                    }
+                    san.on_recv(msg.uid);
+                }
+                return Err(RecvError::Deadline {
+                    src: src_world,
+                    ctx: msg.ctx,
+                    tag: msg.tag,
+                    waited,
+                    deadline: d,
+                });
+            }
+        }
+        let done = ready + self.model.xfer_on(words, msg.link);
         // The message's bytes occupy this rank's receive buffers for the
         // transfer window [ready, done]: charged when the transfer starts,
         // credited when the receive consumes them. Both endpoints are pure
@@ -520,26 +814,97 @@ impl Rank {
             }
             san.on_recv(msg.uid);
         }
-        msg.payload
+        Ok(msg.payload)
+    }
+
+    /// Convert a failed receive into an orderly rank failure.
+    fn fail_recv(&self, e: RecvError) -> ! {
+        self.fail(FailKind::Recv(e))
     }
 
     /// Blocking receive of the message from local rank `src` of `comm` with
     /// `tag`. Advances this rank's clock to at least the message arrival
     /// time plus the transfer charge; waiting time counts as communication.
     ///
-    /// A deadlock aborts the wait: within ~100ms with the sanitizer's
-    /// detector (naming the exact cycle), or after a generous timeout as a
-    /// backstop — failing loudly beats hanging the test suite.
+    /// A receive that cannot complete fails the rank in an orderly way
+    /// (recorded on the machine's failure board): a deadlock within ~100ms
+    /// via the sanitizer's detector (naming the exact cycle), a wait whose
+    /// peers all died as a cascade, a late arrival past the simulated
+    /// deadline, or the wall-clock backstop — failing loudly beats hanging
+    /// the test suite. Use [`Rank::recv_checked`] to handle the error
+    /// instead.
     pub fn recv(&mut self, comm: &Comm, src: usize, tag: u64) -> Payload {
+        match self.recv_checked(comm, src, tag) {
+            Ok(p) => p,
+            Err(e) => self.fail_recv(e),
+        }
+    }
+
+    /// Like [`Rank::recv`], but surfaces the failure to the caller so
+    /// solver layers can attach algorithmic context (phase, supernode)
+    /// before failing the rank.
+    pub fn recv_checked(
+        &mut self,
+        comm: &Comm,
+        src: usize,
+        tag: u64,
+    ) -> Result<Payload, RecvError> {
         let src_world = comm.world_rank_of(src);
         let key = (comm.ctx, src_world, tag);
         let msg = match self.pop_pending(key) {
             Some(m) => m,
             None => self.blocked_recv(comm.ctx, tag, vec![src_world], false, |m| {
                 (m.ctx, m.src_world, m.tag) == key
-            }),
+            })?,
         };
         self.complete_recv(msg)
+    }
+
+    /// Receive and unwrap an `F64s` payload. A kind mismatch fails the rank
+    /// with a structured [`FailKind::PayloadMismatch`] carrying the message
+    /// provenance (src/ctx/tag/phase) instead of a bare panic.
+    pub fn recv_f64s(&mut self, comm: &Comm, src: usize, tag: u64) -> Vec<f64> {
+        let src_world = comm.world_rank_of(src);
+        match self.recv(comm, src, tag).try_into_f64s() {
+            Ok(v) => v,
+            Err(e) => self.fail(FailKind::PayloadMismatch {
+                expected: e.expected,
+                got: e.got,
+                src: src_world,
+                ctx: comm.ctx,
+                tag,
+            }),
+        }
+    }
+
+    /// Receive and unwrap an `Idx` payload; see [`Rank::recv_f64s`].
+    pub fn recv_idx(&mut self, comm: &Comm, src: usize, tag: u64) -> Vec<usize> {
+        let src_world = comm.world_rank_of(src);
+        match self.recv(comm, src, tag).try_into_idx() {
+            Ok(v) => v,
+            Err(e) => self.fail(FailKind::PayloadMismatch {
+                expected: e.expected,
+                got: e.got,
+                src: src_world,
+                ctx: comm.ctx,
+                tag,
+            }),
+        }
+    }
+
+    /// Receive and unwrap a `Packed` payload; see [`Rank::recv_f64s`].
+    pub fn recv_packed(&mut self, comm: &Comm, src: usize, tag: u64) -> (Vec<usize>, Vec<f64>) {
+        let src_world = comm.world_rank_of(src);
+        match self.recv(comm, src, tag).try_into_packed() {
+            Ok(v) => v,
+            Err(e) => self.fail(FailKind::PayloadMismatch {
+                expected: e.expected,
+                got: e.got,
+                src: src_world,
+                ctx: comm.ctx,
+                tag,
+            }),
+        }
     }
 
     /// Wildcard receive (`MPI_ANY_SOURCE`): the next message on `comm` with
@@ -557,7 +922,9 @@ impl Rank {
         // Pull everything already queued into `pending`, then scan members
         // in local-rank order so the buffered case is deterministic.
         while let Ok(m) = self.inbox.try_recv() {
-            self.stash(m);
+            if let Some(m) = self.intake(m) {
+                self.stash(m);
+            }
         }
         let mut found = None;
         for &w in comm.members().iter() {
@@ -575,7 +942,10 @@ impl Rank {
                     .copied()
                     .filter(|&w| w != self.world_rank)
                     .collect();
-                self.blocked_recv(ctx, tag, targets, true, |m| m.ctx == ctx && m.tag == tag)
+                match self.blocked_recv(ctx, tag, targets, true, |m| m.ctx == ctx && m.tag == tag) {
+                    Ok(m) => m,
+                    Err(e) => self.fail_recv(e),
+                }
             }
         };
         // Race check must see the matched send while it is still
@@ -586,7 +956,10 @@ impl Rank {
         let src_local = comm
             .local_rank_of_world(msg.src_world)
             .expect("recv_any matched a message from a non-member");
-        let payload = self.complete_recv(msg);
+        let payload = match self.complete_recv(msg) {
+            Ok(p) => p,
+            Err(e) => self.fail_recv(e),
+        };
         (src_local, payload)
     }
 

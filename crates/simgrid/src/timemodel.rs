@@ -65,6 +65,19 @@ impl TimeModel {
         self.alpha + self.beta * words as f64
     }
 
+    /// Transfer time over a (possibly degraded) link: the whole `α + β·w`
+    /// term scales by `factor` (latency and bandwidth degrade together —
+    /// the `degrade:` rules of `simgrid::faultlab`). `factor == 1.0` is
+    /// bit-for-bit the healthy [`TimeModel::xfer`] cost.
+    #[inline]
+    pub fn xfer_on(&self, words: u64, factor: f64) -> f64 {
+        if factor == 1.0 {
+            self.xfer(words)
+        } else {
+            self.xfer(words) * factor
+        }
+    }
+
     /// Compute time for `f` flops.
     #[inline]
     pub fn compute(&self, flops: u64) -> f64 {
@@ -85,6 +98,8 @@ mod tests {
         };
         assert_eq!(m.xfer(4), 3.0);
         assert_eq!(m.compute(20), 2.0);
+        assert_eq!(m.xfer_on(4, 1.0), m.xfer(4));
+        assert_eq!(m.xfer_on(4, 10.0), 30.0);
     }
 
     #[test]

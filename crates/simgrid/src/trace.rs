@@ -51,10 +51,13 @@ pub fn render_gantt(reports: &[RankReport], width: usize) -> String {
                     };
                     shares[idx] += overlap;
                 }
+                // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN share
+                // (zero-length clock anomaly under injected stalls) must
+                // degrade to an arbitrary pick, not a panic mid-render.
                 let (best, share) = shares
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .unwrap();
                 if *share > 0.0 {
                     *slot = [
@@ -310,6 +313,33 @@ mod tests {
             let last = trace.activities.last().unwrap();
             assert_eq!(trace.phase_of(last.span), Some("solve"));
         }
+    }
+
+    #[test]
+    fn gantt_survives_nan_activity_shares() {
+        // Regression: the per-column winner used `partial_cmp().unwrap()`,
+        // which panics as soon as one share is NaN — e.g. an activity whose
+        // endpoints came out NaN under a zero-length clock anomaly. The
+        // renderer must degrade gracefully, not take down a chaos run's
+        // post-mortem.
+        let m = Machine::new(1, TimeModel::zero()).with_tracing();
+        let mut out = m.run(|rank| {
+            rank.advance_compute(1);
+        });
+        // Give the run nonzero makespan, then poison one activity.
+        out.reports[0].clock = 1.0;
+        let trace = out.reports[0].trace.as_mut().unwrap();
+        trace.activities.push(obs::Activity {
+            kind: ActivityKind::Compute,
+            start: f64::NAN,
+            end: f64::NAN,
+            span: None,
+            peer: None,
+            words: 0,
+            msg: None,
+        });
+        let g = render_gantt(&out.reports, 20);
+        assert!(g.contains("r0"), "gantt must still render:\n{g}");
     }
 
     #[test]

@@ -32,6 +32,10 @@ struct Args {
     conformance: Option<String>,
     sanitize: bool,
     batched_schur: bool,
+    faults: Option<String>,
+    fault_seed: u64,
+    no_recover: bool,
+    recv_deadline: Option<f64>,
     lint_trace: Vec<String>,
 }
 
@@ -73,6 +77,20 @@ fn usage() -> ! {
          \x20 --batched-schur    use the batched gather-GEMM-scatter Schur path\n\
          \x20                    (bitwise-identical factors; see docs/perf.md)\n\
          \n\
+         fault injection (see docs/faultlab.md):\n\
+         \x20 --faults SPEC      inject deterministic faults into the simulated\n\
+         \x20                    network, e.g. 'drop:p=0.05;delay:p=0.1,secs=2e-3'.\n\
+         \x20                    With recovery on (the default) the run also\n\
+         \x20                    factors fault-free and asserts the factors are\n\
+         \x20                    bitwise identical (exit 1 if not).\n\
+         \x20 --fault-seed N     seed for the fault plan's RNG (default 1)\n\
+         \x20 --no-recover       disable ack/retransmit recovery: dropped\n\
+         \x20                    messages stay lost and the run fails\n\
+         \x20                    structurally (deadlock/leak naming the edge)\n\
+         \x20 --recv-deadline S  simulated-time receive deadline in seconds;\n\
+         \x20                    a later-arriving message fails the rank with\n\
+         \x20                    a structured phase/supernode error\n\
+         \n\
          standalone (no matrix needed):\n\
          \x20 --lint-trace FILE  offline-lint a trace written by --trace-out:\n\
          \x20                    send/recv pairing, per-(ctx,tag) FIFO order,\n\
@@ -102,6 +120,10 @@ fn parse_args() -> Args {
         conformance: None,
         sanitize: false,
         batched_schur: false,
+        faults: None,
+        fault_seed: 1,
+        no_recover: false,
+        recv_deadline: None,
         lint_trace: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -137,6 +159,15 @@ fn parse_args() -> Args {
             "--conformance" => args.conformance = Some(val("--conformance")),
             "--sanitize" => args.sanitize = true,
             "--batched-schur" => args.batched_schur = true,
+            "--faults" => args.faults = Some(val("--faults")),
+            "--fault-seed" => {
+                args.fault_seed = val("--fault-seed").parse().unwrap_or_else(|_| usage())
+            }
+            "--no-recover" => args.no_recover = true,
+            "--recv-deadline" => {
+                args.recv_deadline =
+                    Some(val("--recv-deadline").parse().unwrap_or_else(|_| usage()))
+            }
             "--lint-trace" => args.lint_trace.push(val("--lint-trace")),
             "--condest" => args.condest = true,
             "--chol" => args.chol = true,
@@ -288,6 +319,12 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
+    let fault_plan = args.faults.as_ref().map(|spec| {
+        FaultPlan::parse(spec, args.fault_seed).unwrap_or_else(|e| {
+            eprintln!("bad --faults '{spec}': {e}");
+            exit(2)
+        })
+    });
     let cfg = SolverConfig {
         pr,
         pc,
@@ -297,10 +334,16 @@ fn main() {
         tracing: args.trace_out.is_some(),
         sanitize: args.sanitize,
         batched_schur: args.batched_schur,
+        fault_plan: fault_plan.clone(),
+        retry: (fault_plan.is_some() && !args.no_recover).then(RetryPolicy::default),
+        recv_deadline: args.recv_deadline,
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
-    let out = factor_and_solve(&prep, &cfg, Some(b.clone()));
+    let out = try_factor_and_solve(&prep, &cfg, Some(b.clone())).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
     let wall = t0.elapsed().as_secs_f64();
     let x = out.x.as_ref().expect("solution");
     let bmax = b.iter().fold(1.0f64, |m, v| m.max(v.abs()));
@@ -324,6 +367,40 @@ fn main() {
         // A sanitized run with findings panics inside the solver, so
         // reaching this line means the run was clean.
         print!("{}", rep.render());
+    }
+
+    if fault_plan.is_some() {
+        let m = out.metrics();
+        println!("\nfault injection (seed {}):", args.fault_seed);
+        for (k, v) in m.counters.iter().filter(|(k, _)| k.starts_with("fault.")) {
+            println!("  {k:<30} = {v}");
+        }
+        if !args.no_recover {
+            // The recovery guarantee: faults with recovery shift clocks but
+            // never values. Factor fault-free and compare digests.
+            let ref_cfg = SolverConfig {
+                fault_plan: None,
+                retry: None,
+                recv_deadline: None,
+                tracing: false,
+                sanitize: false,
+                ..cfg.clone()
+            };
+            let reference = factor_only(&prep, &ref_cfg);
+            if reference.factor_digest == out.factor_digest {
+                println!(
+                    "  recovery check: factors bitwise identical to fault-free run \
+                     (digest {:#018x})",
+                    out.factor_digest
+                );
+            } else {
+                eprintln!(
+                    "  recovery check FAILED: digest {:#018x} != fault-free {:#018x}",
+                    out.factor_digest, reference.factor_digest
+                );
+                exit(1);
+            }
+        }
     }
 
     if let Some(path) = &args.trace_out {

@@ -60,9 +60,12 @@ pub use symbolic;
 /// The names most programs need.
 pub mod prelude {
     pub use costmodel::{Alg, NonPlanarModel, PlanarModel};
-    pub use lu3d::solver::{factor_and_solve, factor_only, Output3d, SolverConfig};
+    pub use lu3d::solver::{
+        factor_and_solve, factor_only, try_factor_and_solve, try_factor_only, Output3d,
+        SolverConfig, SolverError,
+    };
     pub use lu3d::EtreeForest;
-    pub use simgrid::{Machine, TimeModel};
+    pub use simgrid::{FaultPlan, Machine, RetryPolicy, TimeModel};
     pub use slu2d::driver::{run_2d, Prepared};
     pub use slu2d::factor2d::FactorOpts;
     pub use sparsemat::testmats::{test_matrix, test_suite, Geometry, MatrixClass, Scale};

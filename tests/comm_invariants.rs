@@ -160,7 +160,8 @@ fn traced_3d_run_has_consistent_timelines() {
             &sym,
             &forest,
             salu::slu2d::factor2d::FactorOpts::default(),
-        );
+        )
+        .expect("fault-free factorization succeeds");
     });
     for rep in &out.reports {
         salu::simgrid::trace::validate_trace(rep).unwrap();
