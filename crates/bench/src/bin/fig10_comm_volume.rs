@@ -1,16 +1,21 @@
 //! Fig. 10: per-process communication volume by grid configuration, split
 //! into `W_fact` (xy-plane words during 2D factorization) and `W_red`
 //! (z-axis words during ancestor reduction), for a planar matrix (K2D5pt)
-//! and a non-planar one (nlpkkt), at two machine sizes. The `W_recv`
-//! column is the ingest-side counterpart (max per-rank received bytes),
-//! and every row checks the delivery invariant
-//! `total_recv_words == total_sent_words`.
+//! and a non-planar one (nlpkkt), at two machine sizes.
+//!
+//! The volumes are read from the wire ledger (`obs::commvol`) rather than
+//! the legacy phase counters; every row asserts the two agree exactly, and
+//! checks the delivery invariant `total_recv_words == total_sent_words`.
+//! The class columns break the machine-wide volume into L-panel, U-panel,
+//! and z-reduction traffic, and `waste` is the fraction of shipped words
+//! that were dense-tile zero-padding (see docs/commvol.md).
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fig10_comm_volume
 //! ```
 
 use bench::{matrix, prepare, print_table, run_config, PZ_SWEEP};
+use simgrid::CommClass;
 
 fn main() {
     println!("Fig. 10 reproduction — per-process communication volume (bytes)\n");
@@ -25,8 +30,32 @@ fn main() {
                 let Some(out) = run_config(&prep, p, pz) else {
                     continue;
                 };
-                let wf = out.w_fact() * 8;
-                let wr = out.w_red() * 8;
+                // Ledger/counter conservation: the wire ledger and the
+                // phase counters are independent charge paths and must
+                // agree word-for-word on every rank and phase.
+                for (rank, r) in out.reports.iter().enumerate() {
+                    assert_eq!(
+                        r.commvol.sent_words(),
+                        r.total_sent_words(),
+                        "rank {rank}: wire ledger != phase counters"
+                    );
+                    for phase in ["fact", "reduce"] {
+                        assert_eq!(
+                            r.commvol.phase_words(phase),
+                            r.sent_words_in(phase),
+                            "rank {rank}: phase `{phase}` split disagrees"
+                        );
+                    }
+                }
+                let max_phase = |phase: &str| {
+                    out.reports
+                        .iter()
+                        .map(|r| r.commvol.phase_words(phase))
+                        .max()
+                        .unwrap_or(0)
+                };
+                let wf = max_phase("fact") * 8;
+                let wr = max_phase("reduce") * 8;
                 let total = wf + wr;
                 let s = out.summary();
                 // Delivery invariant: every sent word was consumed.
@@ -37,22 +66,34 @@ fn main() {
                     None => "-".to_string(),
                 };
                 w_prev = Some(total);
-                // Message-size distribution across every send in the run:
-                // the median tracks panel-block granularity, the tail the
-                // packed ancestor-reduction messages.
-                let metrics = out.metrics();
-                let (p50, p95) = metrics
-                    .histogram("msg.send_words")
-                    .map(|h| (h.quantile(0.50) * 8.0, h.quantile(0.95) * 8.0))
-                    .unwrap_or((0.0, 0.0));
+                // Machine-wide class split and padding waste over the
+                // packed-panel classes.
+                let lw = out.class_words(CommClass::LPanel) * 8;
+                let uw = out.class_words(CommClass::UPanel) * 8;
+                let zw = out.class_words(CommClass::ZReduction) * 8;
+                let (mut words, mut sw) = (0u64, 0u64);
+                for r in &out.reports {
+                    for c in [CommClass::LPanel, CommClass::UPanel, CommClass::ZReduction] {
+                        let cc = r.commvol.class_cell(c);
+                        words += cc.words;
+                        sw += cc.struct_words;
+                    }
+                }
+                let waste = if words == 0 {
+                    0.0
+                } else {
+                    100.0 * (words - sw) as f64 / words as f64
+                };
                 rows.push(vec![
                     format!("{}x{}", p / pz, pz),
                     format!("{wf}"),
                     format!("{wr}"),
                     format!("{total}"),
                     format!("{}", s.max_recv_words * 8),
-                    format!("{p50:.0}"),
-                    format!("{p95:.0}"),
+                    format!("{lw}"),
+                    format!("{uw}"),
+                    format!("{zw}"),
+                    format!("{waste:.1}%"),
                     trend,
                 ]);
             }
@@ -63,8 +104,10 @@ fn main() {
                     "W_red (B)",
                     "W_total (B)",
                     "W_recv (B)",
-                    "msg p50 (B)",
-                    "msg p95 (B)",
+                    "L-panel (B)",
+                    "U-panel (B)",
+                    "Z-red (B)",
+                    "waste",
                     "trend",
                 ],
                 &rows,

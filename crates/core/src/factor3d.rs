@@ -195,7 +195,9 @@ fn reduce_ancestors(
                     .map(|(_, m)| (m.rows() * m.cols()) as u64 * 8)
                     .sum();
                 let payload = pack_blocks(&items);
-                rank.send(&comms.zline, peer_z, tag, payload);
+                rank.with_comm_class(simgrid::CommClass::ZReduction, |rank| {
+                    rank.send(&comms.zline, peer_z, tag, payload)
+                });
                 // This grid retires after sending: its replica of ancestor
                 // `s` is dead, so release the bytes charged at store build
                 // (class AncestorReplica, level `l_a`).

@@ -278,6 +278,42 @@ impl Output3d {
             .map(|r| r.memprof.peak_class_bytes(class))
             .sum()
     }
+
+    /// Machine-wide wire-volume profile document: per-rank comm-ledger
+    /// reports plus per-class/per-axis/per-level totals and the
+    /// padding-waste ratios (always available — the ledger does not
+    /// require tracing).
+    pub fn commvol_profile(&self) -> simgrid::Json {
+        let per_rank: Vec<_> = self.reports.iter().map(|r| r.commvol.clone()).collect();
+        simgrid::commvol_json(&per_rank)
+    }
+
+    /// Sum over ranks of algorithmic words sent under one communication
+    /// class (wire ledger).
+    pub fn class_words(&self, class: simgrid::CommClass) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.commvol.class_cell(class).words)
+            .sum()
+    }
+
+    /// Max per-rank algorithmic words sent (wire ledger) — the measured
+    /// counterpart of the cost model's per-process volume `W(p, pz)`.
+    pub fn max_rank_sent_words(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.commvol.sent_words())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum over ranks of algorithmic words sent along one grid axis.
+    pub fn axis_words(&self, axis: simgrid::GridAxis) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.commvol.axis_words(axis))
+            .sum()
+    }
 }
 
 /// FNV-1a over a block store's sorted keys and raw f64 bit patterns:

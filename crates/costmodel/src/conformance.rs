@@ -36,6 +36,10 @@ pub struct ConformanceInput {
     pub w3d_words: f64,
     /// Measured max per-rank sent words of the 2D baseline.
     pub w2d_words: f64,
+    /// Measured max per-rank words sent in the z-axis ancestor reduction
+    /// (`W_red` — the wire ledger's `ZReduction` class / `reduce` phase).
+    /// Feeds the planar-only `comm.zred_share` check; ignored otherwise.
+    pub wz_words: f64,
 }
 
 /// One metric's verdict: the measured and predicted 3D/2D ratios, their
@@ -168,6 +172,19 @@ pub fn comm_gain_band(pz: f64) -> (f64, f64) {
     (0.25, 2.0 * pz.max(2.0))
 }
 
+/// Tolerance band on the measured/model z-reduction *share* of the 3D
+/// volume (`W_red / W_3D` versus equation (10) over (7)+(10)). Calibrated
+/// on the same `grid2d:64` suite (`n = 4096`, `P = 16`): the quotient
+/// observed 0.16 (`Pz = 2`), 0.80 (4), 0.93 (8), 1.69 (16) — low at small
+/// `Pz` because the simulated reduction packs only structurally-owned
+/// blocks while the model charges the full `n·Pz·lg(Pz)/P` band. The band
+/// leaves ~3x headroom each way; a lost z-reduction charge drives the
+/// quotient toward 0 and through the floor, a reduction that re-ships
+/// every replica each level pushes it through the ceiling.
+pub fn zred_share_band(_pz: f64) -> (f64, f64) {
+    (0.05, 5.0)
+}
+
 /// Run every check. `Pz = 1` degenerates to near-unit ratios on both
 /// sides, so the report passes (the 3D run *is* the baseline).
 pub fn check_conformance(inp: ConformanceInput) -> ConformanceReport {
@@ -176,10 +193,35 @@ pub fn check_conformance(inp: ConformanceInput) -> ConformanceReport {
     let gain_meas = inp.w2d_words / inp.w3d_words.max(1.0);
     let (mem_lo, mem_hi) = mem_ratio_band(inp.pz);
     let (gain_lo, gain_hi) = comm_gain_band(inp.pz);
-    let checks = vec![
+    let mut checks = vec![
         ConformanceCheck::new("mem.m3d_over_m2d", mem_meas, mem_model, mem_lo, mem_hi),
         ConformanceCheck::new("comm.w2d_over_w3d", gain_meas, gain_model, gain_lo, gain_hi),
     ];
+    // Wire-ledger replication audit, planar-only (the non-planar model has
+    // no clean xy/z split) and only when replication actually happens.
+    if inp.planar && inp.pz > 1.0 {
+        let m = PlanarModel::new(inp.n, inp.p);
+        let share_model = m.comm_z(inp.pz) / m.comm(Alg::ThreeD, inp.pz);
+        let share_meas = inp.wz_words / inp.w3d_words.max(1.0);
+        let (z_lo, z_hi) = zred_share_band(inp.pz);
+        checks.push(ConformanceCheck::new(
+            "comm.zred_share",
+            share_meas,
+            share_model,
+            z_lo,
+            z_hi,
+        ));
+        // The headline claim: replication must *reduce* measured per-rank
+        // volume relative to the 2D baseline. Direct measured gain against
+        // a predicted break-even of 1.0 — no model constants involved.
+        checks.push(ConformanceCheck::new(
+            "comm.volume_gain",
+            gain_meas,
+            1.0,
+            1.0,
+            1e9,
+        ));
+    }
     let passed = checks.iter().all(|c| c.pass);
     ConformanceReport {
         input: inp,
@@ -202,6 +244,7 @@ mod tests {
             mem2d_words: 0.0,
             w3d_words: 0.0,
             w2d_words: 0.0,
+            wz_words: 0.0,
         }
     }
 
@@ -213,10 +256,12 @@ mod tests {
         inp.mem3d_words = m.memory(Alg::ThreeD, inp.pz);
         inp.w2d_words = m.comm(Alg::TwoD, 1.0);
         inp.w3d_words = m.comm(Alg::ThreeD, inp.pz);
+        inp.wz_words = m.comm_z(inp.pz);
         let rep = check_conformance(inp);
         assert!(rep.passed, "{}", rep.render());
-        for c in &rep.checks {
-            assert!((c.ratio - 1.0).abs() < 1e-12);
+        assert_eq!(rep.checks.len(), 4, "planar pz>1 runs the full audit");
+        for c in rep.checks.iter().filter(|c| c.metric != "comm.volume_gain") {
+            assert!((c.ratio - 1.0).abs() < 1e-12, "{}: {}", c.metric, c.ratio);
         }
     }
 
@@ -232,6 +277,7 @@ mod tests {
         inp.mem3d_words = inp.mem2d_words * 0.2;
         inp.w2d_words = m.comm(Alg::TwoD, 1.0);
         inp.w3d_words = m.comm(Alg::ThreeD, inp.pz);
+        inp.wz_words = m.comm_z(inp.pz);
         let rep = check_conformance(inp);
         assert!(!rep.passed, "{}", rep.render());
         assert!(!rep.checks[0].pass);
@@ -258,10 +304,11 @@ mod tests {
         inp.mem3d_words = 150.0;
         inp.w2d_words = 100.0;
         inp.w3d_words = 60.0;
+        inp.wz_words = 12.0;
         let rep = check_conformance(inp);
         let doc = Json::parse(&rep.to_json().dump()).unwrap();
         let checks = doc.get("checks").unwrap().as_arr().unwrap();
-        assert_eq!(checks.len(), 2);
+        assert_eq!(checks.len(), 4);
         for c in checks {
             assert!(c.get("lo").unwrap().as_f64().unwrap() > 0.0);
             assert!(c.get("pass").unwrap().as_bool().is_some());
@@ -271,6 +318,60 @@ mod tests {
             Some(rep.passed),
             "top-level verdict mirrors the checks"
         );
+    }
+
+    #[test]
+    fn regressed_volume_gain_fails() {
+        // A "3D" run that ships *more* per-rank words than the 2D baseline
+        // defeats the algorithm's point; the audit must say so even when
+        // the ratio-of-ratios checks stay in band.
+        let mut inp = base_input();
+        let m = PlanarModel::new(inp.n, inp.p);
+        inp.mem2d_words = m.memory(Alg::TwoD, 1.0);
+        inp.mem3d_words = m.memory(Alg::ThreeD, inp.pz);
+        inp.w2d_words = m.comm(Alg::TwoD, 1.0);
+        inp.w3d_words = inp.w2d_words * 1.5;
+        inp.wz_words = m.comm_z(inp.pz) * 1.5;
+        let rep = check_conformance(inp);
+        let gain = rep
+            .checks
+            .iter()
+            .find(|c| c.metric == "comm.volume_gain")
+            .unwrap();
+        assert!(!gain.pass, "{}", rep.render());
+        assert!(!rep.passed);
+    }
+
+    #[test]
+    fn missing_z_reduction_fails_share_check() {
+        // A run that reports zero z-axis traffic at Pz=4 lost the ancestor
+        // reduction (or misclassified it): the share drops out of band.
+        let mut inp = base_input();
+        let m = PlanarModel::new(inp.n, inp.p);
+        inp.mem2d_words = m.memory(Alg::TwoD, 1.0);
+        inp.mem3d_words = m.memory(Alg::ThreeD, inp.pz);
+        inp.w2d_words = m.comm(Alg::TwoD, 1.0);
+        inp.w3d_words = m.comm(Alg::ThreeD, inp.pz);
+        inp.wz_words = 0.0;
+        let rep = check_conformance(inp);
+        let share = rep
+            .checks
+            .iter()
+            .find(|c| c.metric == "comm.zred_share")
+            .unwrap();
+        assert!(!share.pass, "{}", rep.render());
+    }
+
+    #[test]
+    fn nonplanar_skips_z_split_checks() {
+        let mut inp = base_input();
+        inp.planar = false;
+        inp.mem2d_words = 1.0;
+        inp.mem3d_words = 1.0;
+        inp.w2d_words = 1.0;
+        inp.w3d_words = 1.0;
+        let rep = check_conformance(inp);
+        assert_eq!(rep.checks.len(), 2, "no clean xy/z split off-plane");
     }
 
     #[test]

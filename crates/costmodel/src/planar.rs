@@ -39,15 +39,27 @@ impl PlanarModel {
     /// Per-process communication volume on the critical path, in words
     /// (equations (6), (7) + (10)).
     pub fn comm(&self, alg: Alg, pz: f64) -> f64 {
-        let (n, p) = (self.n, self.p);
         match alg {
-            Alg::TwoD => n * lg(n) / p.sqrt(),
-            Alg::ThreeD => {
-                let w_xy = n / p.sqrt() * (2.0 * pz.sqrt() + lg(n) / pz.sqrt());
-                let w_z = n * pz * lg(pz).max(0.0) / p;
-                w_xy + w_z
-            }
+            Alg::TwoD => self.n * lg(self.n) / self.p.sqrt(),
+            Alg::ThreeD => self.comm_xy(pz) + self.comm_z(pz),
         }
+    }
+
+    /// The xy-plane (2D factorization) term of the 3D volume alone:
+    /// equation (7), `W_3D^{xy}`. The wire ledger's replication audit
+    /// compares the measured `fact`-phase volume against this.
+    pub fn comm_xy(&self, pz: f64) -> f64 {
+        let (n, p) = (self.n, self.p);
+        n / p.sqrt() * (2.0 * pz.sqrt() + lg(n) / pz.sqrt())
+    }
+
+    /// The z-axis ancestor-reduction term alone: equation (10),
+    /// `W_3D^{z}`. Note `lg` floors at 1.0, so this term stays positive
+    /// even at `pz = 1` — kept as-is so `comm()` is exactly the historic
+    /// sum; conformance skips the z-share check at `pz = 1`.
+    pub fn comm_z(&self, pz: f64) -> f64 {
+        let (n, p) = (self.n, self.p);
+        n * pz * lg(pz).max(0.0) / p
     }
 
     /// Messages on the critical path (equations (3) and (12)). Expressed in

@@ -5,6 +5,7 @@
 //! each matched send→recv pair becomes an `"s"`/`"f"` flow-arrow pair bound
 //! by the message uid. Load the emitted file in <https://ui.perfetto.dev>.
 
+use crate::commvol::CommClass;
 use crate::json::Json;
 use crate::memprof::MemClass;
 use crate::span::{ActivityKind, RankObs};
@@ -128,6 +129,41 @@ pub fn chrome_trace(obs: &[RankObs]) -> Json {
                     ("ph".into(), Json::str("C")),
                     ("name".into(), Json::str(format!("mem rank {}", r.rank))),
                     ("cat".into(), Json::str("mem")),
+                    ("ts".into(), Json::num(t * US)),
+                    ("pid".into(), Json::num(0.0)),
+                    ("tid".into(), Json::num(r.rank as f64)),
+                    ("args".into(), Json::Obj(args)),
+                ]));
+            }
+        }
+        // Wire counter track: one "C" sample per distinct send timestamp,
+        // args = cumulative words shipped per communication class. The
+        // series are monotone by construction (sends only add words).
+        if !r.comm.is_empty() {
+            let live: Vec<CommClass> = CommClass::ALL
+                .iter()
+                .copied()
+                .filter(|&c| r.comm.iter().any(|e| e.class == c))
+                .collect();
+            let mut totals: BTreeMap<CommClass, u64> = BTreeMap::new();
+            let mut i = 0;
+            while i < r.comm.len() {
+                let t = r.comm[i].t;
+                while i < r.comm.len() && r.comm[i].t == t {
+                    *totals.entry(r.comm[i].class).or_insert(0) += r.comm[i].words;
+                    i += 1;
+                }
+                let args = live
+                    .iter()
+                    .map(|&c| {
+                        let v = totals.get(&c).copied().unwrap_or(0);
+                        (c.as_str().to_string(), Json::num(v as f64))
+                    })
+                    .collect();
+                events.push(Json::Obj(vec![
+                    ("ph".into(), Json::str("C")),
+                    ("name".into(), Json::str(format!("wire rank {}", r.rank))),
+                    ("cat".into(), Json::str("wire")),
                     ("ts".into(), Json::num(t * US)),
                     ("pid".into(), Json::num(0.0)),
                     ("tid".into(), Json::num(r.rank as f64)),
@@ -403,6 +439,37 @@ mod tests {
         assert_eq!(series(counters[2], "MsgInFlight"), 0.0);
         assert_eq!(series(counters[2], "LPanel"), 128.0);
         validate_chrome_trace(&back).unwrap();
+    }
+
+    #[test]
+    fn wire_counter_track_is_cumulative_per_class() {
+        use crate::commvol::{CommClass, CommLedger, GridAxis};
+        let mut led = CommLedger::new(true);
+        led.charge_send("fact", CommClass::LPanel, GridAxis::X, 1, 16, 8, 0.0);
+        led.charge_send("fact", CommClass::LPanel, GridAxis::X, 1, 4, 4, 1.0);
+        led.charge_send("reduce", CommClass::ZReduction, GridAxis::Z, 2, 10, 5, 1.0);
+        let mut obs = two_rank_obs();
+        obs[0].comm = led.take_timeline();
+        let doc = chrome_trace(&obs);
+        let stats = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(stats.counter_events, 2, "two distinct timestamps");
+        let back = Json::parse(&doc.dump()).unwrap();
+        let counters: Vec<&Json> = back
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        assert!(counters
+            .iter()
+            .all(|e| e.get("name").unwrap().as_str() == Some("wire rank 0")));
+        let series = |ev: &Json, k: &str| ev.get("args").unwrap().get(k).unwrap().as_f64().unwrap();
+        assert_eq!(series(counters[0], "LPanel"), 16.0);
+        assert_eq!(series(counters[0], "ZReduction"), 0.0);
+        assert_eq!(series(counters[1], "LPanel"), 20.0);
+        assert_eq!(series(counters[1], "ZReduction"), 10.0);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   mergeable across ranks and dumpable as JSON.
 //! - [`memprof`]: the tagged allocation ledger — per-rank high-water
 //!   marks with class+tree-level attribution of the peak instant.
+//! - [`commvol`]: the wire-volume ledger — per-rank sent/received words
+//!   keyed by `(phase, class, tree level, grid axis)` and by edge, with
+//!   padding-waste accounting per class.
 //! - [`chrome`]: trace-event JSON for <https://ui.perfetto.dev>, with
 //!   send→recv flow arrows, and a structural validator.
 //! - [`critpath`]: backward walk over the send→recv dependency graph
@@ -43,6 +46,7 @@
 //! ```
 
 pub mod chrome;
+pub mod commvol;
 pub mod critpath;
 pub mod json;
 pub mod memprof;
@@ -50,6 +54,9 @@ pub mod metrics;
 pub mod span;
 
 pub use chrome::{chrome_trace, validate_chrome_trace, ChromeTraceStats};
+pub use commvol::{
+    commvol_json, CommClass, CommEntry, CommEvent, CommLedger, CommReport, EdgeVolume, GridAxis,
+};
 pub use critpath::{CritSegment, CriticalPath, SegKind};
 pub use json::Json;
 pub use memprof::{memprof_json, MemAttr, MemClass, MemEvent, MemLedger, MemReport};

@@ -147,6 +147,10 @@ pub struct RankObs {
     /// recorded a [`crate::memprof::MemLedger`] timeline); the Chrome
     /// exporter turns these into `"ph":"C"` counter tracks.
     pub mem: Vec<crate::memprof::MemEvent>,
+    /// Wire-volume ledger events in chronological order (empty unless the
+    /// run recorded a [`crate::commvol::CommLedger`] timeline); exported
+    /// as cumulative per-class counter tracks beside the memory curves.
+    pub comm: Vec<crate::commvol::CommEvent>,
 }
 
 impl RankObs {
@@ -287,6 +291,7 @@ impl Recorder {
             spans: self.spans,
             activities: self.activities,
             mem: Vec::new(),
+            comm: Vec::new(),
         }
     }
 }

@@ -35,8 +35,9 @@ use crate::payload::Payload;
 use crate::rank::Rank;
 use obs::SpanCat;
 
-/// High-bit namespace for collective-internal tags.
-const COLL_TAG: u64 = 1 << 62;
+/// High-bit namespace for collective-internal tags. `pub(crate)` so the
+/// rank layer can classify untagged collective traffic for the wire ledger.
+pub(crate) const COLL_TAG: u64 = 1 << 62;
 
 /// Phase-id field: bits 57..=59.
 const PHASE_SHIFT: u32 = 57;

@@ -72,9 +72,12 @@ pub use trace::{render_gantt, validate_trace};
 // critical-path analysis (see the `obs` crate).
 pub use obs;
 pub use obs::{
-    memprof_json, ActivityKind, CriticalPath, Json, MemClass, MemLedger, MemReport,
-    MetricsRegistry, RankObs, SpanCat, SpanId,
+    commvol_json, memprof_json, ActivityKind, CommClass, CommLedger, CriticalPath, GridAxis, Json,
+    MemClass, MemLedger, MemReport, MetricsRegistry, RankObs, SpanCat, SpanId,
 };
+// `obs::CommReport` (the wire-volume report on `RankReport::commvol`) is
+// deliberately not re-exported at the top level: `commcheck::CommReport`
+// below already owns that name here. Reach it as `simgrid::obs::CommReport`.
 // Communication sanitizer: race/deadlock/leak detection online
 // ([`Machine::with_sanitizer`]) and the offline trace linter.
 pub use commcheck;

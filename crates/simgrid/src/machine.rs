@@ -114,6 +114,14 @@ impl<T> RunResult<T> {
         let per_rank: Vec<_> = self.reports.iter().map(|r| r.memprof.clone()).collect();
         obs::memprof_json(&per_rank)
     }
+
+    /// Machine-wide wire-volume profile: every rank's comm ledger report
+    /// plus per-class/per-axis/per-level totals and the padding-waste
+    /// ratios (always available — the ledger does not require tracing).
+    pub fn commvol_profile(&self) -> Json {
+        let per_rank: Vec<_> = self.reports.iter().map(|r| r.commvol.clone()).collect();
+        obs::commvol_json(&per_rank)
+    }
 }
 
 impl Machine {

@@ -58,6 +58,47 @@ impl Payload {
         }
     }
 
+    /// Number of 8-byte words carrying structural content, for the wire
+    /// ledger's padding-waste audit. `Empty` and `Idx` payloads are all
+    /// structure; an `F64s` payload counts its nonzero entries; a `Packed`
+    /// panel counts its meta header plus, per block, `nonzero_rows × cols`
+    /// — rows that are entirely zero are padding shipped only because the
+    /// block was padded to a dense supernodal tile. Always `<= words()`.
+    /// A `Packed` payload whose meta does not follow the `pack_blocks`
+    /// layout `[count, (id, rows, cols)*]` is counted as all structure.
+    pub fn struct_words(&self) -> u64 {
+        match self {
+            Payload::Empty => 0,
+            Payload::F64s(v) => v.iter().filter(|x| **x != 0.0).count() as u64,
+            Payload::Idx(v) => v.len() as u64,
+            Payload::Packed { meta, data } => {
+                let Some((&count, rest)) = meta.split_first() else {
+                    return self.words();
+                };
+                if rest.len() != 3 * count {
+                    return self.words();
+                }
+                let mut off = 0usize;
+                let mut sw = meta.len() as u64;
+                for b in 0..count {
+                    let rows = rest[3 * b + 1];
+                    let cols = rest[3 * b + 2];
+                    let len = rows * cols;
+                    if off + len > data.len() {
+                        return self.words();
+                    }
+                    let blk = &data[off..off + len];
+                    let nz_rows = (0..rows)
+                        .filter(|&i| (0..cols).any(|j| blk[j * rows + i] != 0.0))
+                        .count();
+                    sw += (nz_rows * cols) as u64;
+                    off += len;
+                }
+                sw
+            }
+        }
+    }
+
     /// Which variant this payload is.
     pub fn kind(&self) -> PayloadKind {
         match self {
@@ -135,6 +176,27 @@ mod tests {
             .words(),
             12
         );
+    }
+
+    #[test]
+    fn struct_words_counts_nonzero_rows() {
+        assert_eq!(Payload::Empty.struct_words(), 0);
+        assert_eq!(Payload::Idx(vec![0; 3]).struct_words(), 3);
+        assert_eq!(Payload::F64s(vec![1.0, 0.0, 2.0, 0.0]).struct_words(), 2);
+        // One 3x2 block (column-major) whose middle row is all zero:
+        // only 2 of 3 rows carry structure -> 4 data words + 4 meta words.
+        let p = Payload::Packed {
+            meta: vec![1, 7, 3, 2],
+            data: vec![1.0, 0.0, 3.0, 4.0, 0.0, 6.0],
+        };
+        assert_eq!(p.words(), 10);
+        assert_eq!(p.struct_words(), 8);
+        // Malformed meta falls back to all-structure.
+        let bad = Payload::Packed {
+            meta: vec![2, 7, 3, 2],
+            data: vec![0.0; 6],
+        };
+        assert_eq!(bad.struct_words(), bad.words());
     }
 
     #[test]

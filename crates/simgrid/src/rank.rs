@@ -1,6 +1,7 @@
 //! The per-rank execution context: point-to-point messaging, clocks,
 //! counters, spans, and metrics.
 
+use crate::coll::COLL_TAG;
 use crate::comm::Comm;
 use crate::faultlab::{
     FailKind, FailureBoard, FaultDecision, FaultPlan, OrderlyAbort, RankFailure, RecvError,
@@ -9,9 +10,13 @@ use crate::faultlab::{
 use crate::payload::Payload;
 use crate::stats::{PhaseCounter, RankReport};
 use crate::timemodel::TimeModel;
+use crate::topology::Grid3d;
 use commcheck::{SanState, SendRec, VClock, WaitGraph, WaitInfo};
 use crossbeam::channel::{Receiver, Sender};
-use obs::{ActivityKind, MemClass, MemLedger, MetricsRegistry, MsgInfo, Recorder, SpanCat, SpanId};
+use obs::{
+    ActivityKind, CommClass, CommLedger, GridAxis, MemClass, MemLedger, MetricsRegistry, MsgInfo,
+    Recorder, SpanCat, SpanId,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -96,6 +101,18 @@ pub struct Rank {
     /// high-water mark, and its class+level attribution. Always on; the
     /// per-event timeline is recorded only when tracing.
     ledger: MemLedger,
+    /// Wire-volume ledger: algorithmic words sent keyed by
+    /// `(phase, class, tree level, grid axis)` plus per-edge totals.
+    /// Always on; the per-event timeline is recorded only when tracing.
+    comm: CommLedger,
+    /// Explicit communication class for subsequent sends
+    /// ([`Rank::set_comm_class`]); overrides tag-based classification, so
+    /// panel broadcasts keep their class inside collective internals.
+    comm_class: Option<CommClass>,
+    /// 3D process-grid shape registered by the topology layer
+    /// ([`Rank::register_grid`]); classifies each send's edge by grid
+    /// axis. Without it every edge classifies as [`GridAxis::Cross`].
+    grid: Option<Grid3d>,
     /// Machine-wide wait-for graph; touched only when a receive actually
     /// blocks on the channel, so the fast path costs nothing.
     wait_graph: Arc<WaitGraph>,
@@ -176,6 +193,9 @@ impl Rank {
             phase_span: None,
             metrics: MetricsRegistry::default(),
             ledger: MemLedger::new(tracing),
+            comm: CommLedger::new(tracing),
+            comm_class: None,
+            grid: None,
             wait_graph,
             vclock: san.as_ref().map(|_| VClock::new(world_size)),
             san,
@@ -366,6 +386,55 @@ impl Rank {
     /// stay at level 0).
     pub fn set_tree_level(&mut self, level: u32) {
         self.ledger.set_level(level);
+        self.comm.set_level(level);
+    }
+
+    /// Register the 3D process-grid shape so subsequent traffic is
+    /// classified by grid axis (x: row, y: column, z: anti-diagonal stack).
+    /// Called once by [`crate::build_grid_comms`]; drivers that build their
+    /// own communicators can call it directly.
+    pub fn register_grid(&mut self, g: Grid3d) {
+        self.grid = Some(g);
+    }
+
+    /// Set the communication class subsequent sends are charged to in the
+    /// wire ledger, or clear it with `None`. An explicit class overrides
+    /// tag-based classification (collective-internal vs control), so a
+    /// panel broadcast keeps its class while riding a collective.
+    pub fn set_comm_class(&mut self, class: Option<CommClass>) {
+        self.comm_class = class;
+    }
+
+    /// Run `f` with sends classified as `class`, restoring the previous
+    /// classification on return.
+    pub fn with_comm_class<T>(&mut self, class: CommClass, f: impl FnOnce(&mut Rank) -> T) -> T {
+        let prev = self.comm_class;
+        self.comm_class = Some(class);
+        let out = f(self);
+        self.comm_class = prev;
+        out
+    }
+
+    /// Total algorithmic words this rank has sent so far (wire ledger).
+    pub fn comm_sent_words(&self) -> u64 {
+        self.comm.sent_words()
+    }
+
+    /// Which grid axis the edge from this rank to world rank `peer` runs
+    /// along. Exactly one differing coordinate names the axis; anything
+    /// else — including no registered grid — is a cross edge.
+    fn comm_axis(&self, peer: usize) -> GridAxis {
+        let Some(g) = &self.grid else {
+            return GridAxis::Cross;
+        };
+        let (r0, c0, z0) = g.coords_of(self.world_rank);
+        let (r1, c1, z1) = g.coords_of(peer);
+        match (r0 != r1, c0 != c1, z0 != z1) {
+            (false, true, false) => GridAxis::X,
+            (true, false, false) => GridAxis::Y,
+            (false, false, true) => GridAxis::Z,
+            _ => GridAxis::Cross,
+        }
     }
 
     /// Current ledger balance of one memory class (bytes).
@@ -469,9 +538,13 @@ impl Rank {
                         self.clock += wait;
                         self.record(ActivityKind::Wait, tw, self.clock, Some(dst_world), 0, None);
                         self.t_comm += cost + wait;
-                        let c = self.counter();
-                        c.sent_msgs += 1;
-                        c.sent_words += words;
+                        // Lost attempts are transport overhead, not
+                        // algorithmic volume: they stay out of the traffic
+                        // counters and wire ledger so a recovered run
+                        // reports the same algorithmic volume as a
+                        // fault-free one.
+                        self.metrics.inc("fault.resent_msgs", 1);
+                        self.metrics.inc("fault.resent_words", words);
                         self.metrics.inc("fault.recovered.retransmit", 1);
                         self.metrics.observe("fault.retry_wait_secs", wait);
                     }
@@ -565,12 +638,27 @@ impl Rank {
             words,
             info,
         );
-        self.metrics.inc("msg.sent", 1);
-        self.metrics.observe("msg.send_words", words as f64);
-        {
+        if visible {
+            self.metrics.inc("msg.sent", 1);
+            self.metrics.observe("msg.send_words", words as f64);
+            let struct_words = payload.struct_words();
+            let class = self.comm_class.unwrap_or(if tag & COLL_TAG != 0 {
+                CommClass::Collective
+            } else {
+                CommClass::Control
+            });
+            let axis = self.comm_axis(dst_world);
+            self.comm
+                .charge_send(&self.phase, class, axis, dst_world, words, struct_words, t0);
             let c = self.counter();
             c.sent_msgs += 1;
             c.sent_words += words;
+        } else {
+            // Transport-internal duplicate under recovery: the network
+            // pays, the algorithm doesn't — count it as resend overhead
+            // only, like the retransmit attempts above.
+            self.metrics.inc("fault.resent_msgs", 1);
+            self.metrics.inc("fault.resent_words", words);
         }
         // Sanitizer: the send is an event — tick, register in the
         // outstanding table, and piggyback the clock on the message.
@@ -798,6 +886,7 @@ impl Rank {
         self.clock = done;
         self.ledger
             .credit_at(MemClass::MsgInFlight, 0, words * 8, done);
+        self.comm.charge_recv(src_world, words);
         {
             let c = self.counter();
             c.recv_msgs += 1;
@@ -992,6 +1081,9 @@ impl Rank {
         let mut ledger = self.ledger;
         let mem_timeline = ledger.take_timeline();
         let memprof = ledger.report();
+        let mut wire = self.comm;
+        let comm_timeline = wire.take_timeline();
+        let commvol = wire.report();
         // Ledger-driven high-water mark; `record_memory` snapshots (if any)
         // are folded in so untagged callers still count.
         let peak_mem = self.peak_mem.max(memprof.peak_bytes);
@@ -1007,9 +1099,11 @@ impl Rank {
             wall_secs,
             metrics,
             memprof,
+            commvol,
             trace: self.rec.map(|rec| {
                 let mut obs = rec.finish(clock);
                 obs.mem = mem_timeline;
+                obs.comm = comm_timeline;
                 obs
             }),
         }

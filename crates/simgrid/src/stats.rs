@@ -1,6 +1,6 @@
 //! Per-rank traffic and time accounting.
 
-use obs::{MemReport, MetricsRegistry, RankObs};
+use obs::{CommReport, MemReport, MetricsRegistry, RankObs};
 use std::collections::BTreeMap;
 
 /// Message/word counters for one traffic phase on one rank.
@@ -48,6 +48,11 @@ pub struct RankReport {
     /// Memory-ledger profile: high-water mark with class+tree-level
     /// attribution of the peak instant (always on).
     pub memprof: MemReport,
+    /// Wire-volume ledger: algorithmic words sent keyed by
+    /// `(phase, class, tree level, grid axis)` plus per-edge totals
+    /// (always on). Fault-injected duplicates and retransmits are
+    /// excluded — see `fault.resent_words` in [`RankReport::metrics`].
+    pub commvol: CommReport,
     /// Span/activity store, when tracing was enabled on the machine.
     pub trace: Option<RankObs>,
 }
@@ -100,6 +105,13 @@ pub struct TrafficSummary {
     pub max_peak_mem: u64,
     /// Total flops over all ranks.
     pub total_flops: u64,
+    /// Number of directed (src, dst) edges that carried at least one
+    /// message, from the wire-volume ledger.
+    pub edges: u64,
+    /// Heaviest directed edge in words.
+    pub max_edge_words: u64,
+    /// Mean words per active directed edge (0 when no edge carried data).
+    pub mean_edge_words: f64,
 }
 
 impl TrafficSummary {
@@ -117,6 +129,14 @@ impl TrafficSummary {
             s.max_t_comm = s.max_t_comm.max(r.t_comm);
             s.max_peak_mem = s.max_peak_mem.max(r.peak_mem_bytes);
             s.total_flops += r.flops;
+            for e in &r.commvol.sent_to {
+                s.edges += 1;
+                s.max_edge_words = s.max_edge_words.max(e.words);
+                s.mean_edge_words += e.words as f64;
+            }
+        }
+        if s.edges > 0 {
+            s.mean_edge_words /= s.edges as f64;
         }
         s
     }

@@ -117,6 +117,7 @@ pub struct GridComms {
 /// communicator creation (SPMD discipline).
 pub fn build_grid_comms(rank: &mut Rank, g: &Grid3d) -> GridComms {
     assert_eq!(rank.size(), g.size(), "machine size != grid size");
+    rank.register_grid(*g);
     let (my_r, my_c, my_z) = g.coords_of(rank.id());
     let g2 = g.grid2d;
 

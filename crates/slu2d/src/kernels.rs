@@ -5,7 +5,7 @@
 use crate::factor2d::FactorEnv;
 use crate::store::{pack_blocks, unpack_blocks, BlockStore, SchurScratch};
 use densela::{flops, getrf, trsm_left_lower_unit, trsm_right_upper, Mat, PivotPolicy};
-use simgrid::{Payload, Rank};
+use simgrid::{CommClass, Payload, Rank};
 use std::collections::HashMap;
 use symbolic::Symbolic;
 
@@ -173,7 +173,9 @@ pub fn factor_step_panel(
         } else {
             None
         };
-        let payload = rank.bcast(&env.row, kc, data, T_LPANEL | k as u64);
+        let payload = rank.with_comm_class(CommClass::LPanel, |rank| {
+            rank.bcast(&env.row, kc, data, T_LPANEL | k as u64)
+        });
         for (i, m) in unpack_blocks(payload) {
             lmap.insert(i, m);
         }
@@ -191,7 +193,9 @@ pub fn factor_step_panel(
         } else {
             None
         };
-        let payload = rank.bcast(&env.col, kr, data, T_UPANEL | k as u64);
+        let payload = rank.with_comm_class(CommClass::UPanel, |rank| {
+            rank.bcast(&env.col, kr, data, T_UPANEL | k as u64)
+        });
         for (j, m) in unpack_blocks(payload) {
             umap.insert(j, m);
         }

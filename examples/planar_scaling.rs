@@ -63,16 +63,17 @@ fn main() {
     println!("(the paper reports 2-11.6x for planar matrices on 16 nodes, Fig. 9)");
 
     // Refresh the pinned observability artifacts (see `salu::sample`): a
-    // Chrome trace, a metrics dump, and a memory profile of a small
-    // deterministic traced run. The `observability` test asserts the
-    // committed copies match.
-    let (trace, metrics, memprof) = salu::sample::sample_artifacts();
+    // Chrome trace, a metrics dump, a memory profile, and a wire-volume
+    // report of a small deterministic traced run. The `observability` test
+    // asserts the committed copies match.
+    let (trace, metrics, memprof, commvol) = salu::sample::sample_artifacts();
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/sample_trace.json", trace).expect("write trace");
     std::fs::write("results/sample_metrics.json", metrics).expect("write metrics");
     std::fs::write("results/sample_memprof.json", memprof).expect("write memprof");
+    std::fs::write("results/sample_commvol.json", commvol).expect("write commvol");
     println!(
         "\nwrote results/sample_trace.json, results/sample_metrics.json,\n\
-         and results/sample_memprof.json"
+         results/sample_memprof.json, and results/sample_commvol.json"
     );
 }

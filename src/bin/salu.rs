@@ -29,6 +29,7 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     mem_out: Option<String>,
+    commvol_out: Option<String>,
     conformance: Option<String>,
     sanitize: bool,
     batched_schur: bool,
@@ -68,6 +69,10 @@ fn usage() -> ! {
          \x20 --mem-out FILE     write the per-rank memory profile (tagged\n\
          \x20                    allocation-ledger peaks with class and\n\
          \x20                    tree-level attribution) as JSON; '-' = stdout\n\
+         \x20 --commvol-out FILE write the wire-volume report (per-class/\n\
+         \x20                    per-level/per-axis sent words, per-edge\n\
+         \x20                    totals, padding-waste ratios) as JSON;\n\
+         \x20                    '-' = stdout (see docs/commvol.md)\n\
          \x20 --conformance FILE check measured memory/communication against\n\
          \x20                    the Section IV cost models (runs a 2D baseline)\n\
          \x20                    and write the pass/fail report as JSON;\n\
@@ -117,6 +122,7 @@ fn parse_args() -> Args {
         trace_out: None,
         metrics_out: None,
         mem_out: None,
+        commvol_out: None,
         conformance: None,
         sanitize: false,
         batched_schur: false,
@@ -156,6 +162,7 @@ fn parse_args() -> Args {
             "--trace-out" => args.trace_out = Some(val("--trace-out")),
             "--metrics-out" => args.metrics_out = Some(val("--metrics-out")),
             "--mem-out" => args.mem_out = Some(val("--mem-out")),
+            "--commvol-out" => args.commvol_out = Some(val("--commvol-out")),
             "--conformance" => args.conformance = Some(val("--conformance")),
             "--sanitize" => args.sanitize = true,
             "--batched-schur" => args.batched_schur = true,
@@ -363,6 +370,16 @@ fn main() {
         "  peak memory per rank  = {:.2} MB (ledger high-water, max over ranks)",
         out.max_peak_bytes() as f64 / 1e6
     );
+    let summary = out.summary();
+    println!(
+        "  wire volume           = {} words total, {} max per rank; \
+         {} edges (max {} / mean {:.0} words)",
+        summary.total_sent_words,
+        out.max_rank_sent_words(),
+        summary.edges,
+        summary.max_edge_words,
+        summary.mean_edge_words,
+    );
     if let Some(rep) = &out.sanitizer {
         // A sanitized run with findings panics inside the solver, so
         // reaching this line means the run was clean.
@@ -423,6 +440,9 @@ fn main() {
     }
     if let Some(path) = &args.mem_out {
         emit_json(path, &out.mem_profile(), "memory profile");
+    }
+    if let Some(path) = &args.commvol_out {
+        emit_json(path, &out.commvol_profile(), "wire-volume report");
     }
 
     if args.condest {
@@ -533,6 +553,7 @@ fn main() {
             mem2d_words,
             w3d_words: (out.w_fact() + out.w_red()) as f64,
             w2d_words,
+            wz_words: out.w_red() as f64,
         });
         println!("\ncost-model conformance:");
         print!("{}", rep.render());

@@ -1,6 +1,6 @@
 //! A small, fully deterministic traced 3D run whose observability artifacts
-//! (Chrome trace + metrics JSON + memory profile) are pinned as golden
-//! files under `results/`. The example `planar_scaling` writes them; the
+//! (Chrome trace + metrics JSON + memory profile + wire-volume report) are
+//! pinned as golden files under `results/`. The example `planar_scaling` writes them; the
 //! `observability` integration test asserts they are byte-identical to the
 //! committed copies, so any change to the simulation's timing, traffic, or
 //! export format shows up as a reviewable diff.
@@ -27,13 +27,14 @@ pub fn sample_output() -> Output3d {
     factor_and_solve(&prep, &cfg, Some(b))
 }
 
-/// The sample run's `(chrome_trace, metrics, memprof)` documents,
+/// The sample run's `(chrome_trace, metrics, memprof, commvol)` documents,
 /// pretty-printed. Byte-stable: the simulation is deterministic and the
 /// JSON writer keeps insertion order.
-pub fn sample_artifacts() -> (String, String, String) {
+pub fn sample_artifacts() -> (String, String, String, String) {
     let out = sample_output();
     let trace = out.chrome_trace().expect("sample run traces").pretty();
     let metrics = out.metrics().to_json().pretty();
     let memprof = out.mem_profile().pretty();
-    (trace, metrics, memprof)
+    let commvol = out.commvol_profile().pretty();
+    (trace, metrics, memprof, commvol)
 }

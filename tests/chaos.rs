@@ -61,6 +61,15 @@ fn recovered_chaos_run_is_bitwise_identical_to_fault_free() {
     // ...the sanitizer saw a balanced protocol...
     let rep = faulted.sanitizer.as_ref().expect("sanitized run reports");
     assert!(rep.is_clean(), "{}", rep.render());
+    // ...retransmits and injected duplicates were charged to the fault
+    // ledger, never to the algorithmic wire volume: the recovered run's
+    // wire-volume report is byte-identical to the fault-free one...
+    assert!(m.counter("fault.resent_words") > 0, "no retransmit volume");
+    assert_eq!(
+        faulted.commvol_profile().pretty(),
+        clean.commvol_profile().pretty(),
+        "recovered run must report fault-free algorithmic volume"
+    );
     // ...and the factors and solution are bit-for-bit the fault-free ones.
     assert_eq!(
         faulted.factor_digest, clean.factor_digest,

@@ -7,7 +7,7 @@
 use salu::prelude::*;
 use salu::simgrid::{commcheck, Json};
 
-fn run_once(sanitize: bool) -> (Vec<f64>, String) {
+fn run_once(sanitize: bool) -> (Vec<f64>, String, String) {
     let nx = 12;
     let a = salu::sparsemat::matgen::grid2d_5pt(nx, nx, 0.1, 5);
     let x_true: Vec<f64> = (0..a.nrows).map(|i| ((i % 9) as f64) - 4.0).collect();
@@ -25,8 +25,9 @@ fn run_once(sanitize: bool) -> (Vec<f64>, String) {
     };
     let out = factor_and_solve(&prep, &cfg, Some(b));
     let trace = out.chrome_trace().expect("tracing was on").pretty();
+    let commvol = out.commvol_profile().pretty();
     let x = out.x.expect("solution");
-    (x, trace)
+    (x, trace, commvol)
 }
 
 fn assert_bitwise_equal(a: &[f64], b: &[f64]) {
@@ -42,12 +43,15 @@ fn assert_bitwise_equal(a: &[f64], b: &[f64]) {
 
 #[test]
 fn repeated_runs_are_bitwise_identical() {
-    let (x1, t1) = run_once(false);
-    let (x2, t2) = run_once(false);
+    let (x1, t1, w1) = run_once(false);
+    let (x2, t2, w2) = run_once(false);
     assert_bitwise_equal(&x1, &x2);
     // The message traces — every send, receive, timestamp, payload size —
     // must also match byte for byte.
     assert_eq!(t1, t2, "chrome traces differ between identical runs");
+    // So must the wire-volume report: every (phase, class, level, axis)
+    // cell and every per-edge total.
+    assert_eq!(w1, w2, "wire-volume reports differ between identical runs");
     // And the offline checker agrees, event by event.
     let (d1, d2) = (Json::parse(&t1).unwrap(), Json::parse(&t2).unwrap());
     commcheck::check_determinism(&d1, &d2).expect("schedules must be identical");
@@ -58,8 +62,9 @@ fn sanitizer_does_not_perturb_the_simulation() {
     // Vector clocks and the detector thread ride along without changing a
     // single simulated event: traces with and without the sanitizer are
     // byte-identical.
-    let (x_plain, t_plain) = run_once(false);
-    let (x_san, t_san) = run_once(true);
+    let (x_plain, t_plain, w_plain) = run_once(false);
+    let (x_san, t_san, w_san) = run_once(true);
     assert_bitwise_equal(&x_plain, &x_san);
     assert_eq!(t_plain, t_san, "sanitizer changed the simulated schedule");
+    assert_eq!(w_plain, w_san, "sanitizer changed the wire ledger");
 }

@@ -118,13 +118,15 @@ fn factor_only_runs_have_no_solve_phase() {
 
 #[test]
 fn sample_artifacts_match_pinned_goldens() {
-    let (trace, metrics, memprof) = salu::sample::sample_artifacts();
+    let (trace, metrics, memprof, commvol) = salu::sample::sample_artifacts();
     let root = env!("CARGO_MANIFEST_DIR");
     let want_trace = std::fs::read_to_string(format!("{root}/results/sample_trace.json"))
         .expect("run `cargo run --example planar_scaling` to create the goldens");
     let want_metrics = std::fs::read_to_string(format!("{root}/results/sample_metrics.json"))
         .expect("run `cargo run --example planar_scaling` to create the goldens");
     let want_memprof = std::fs::read_to_string(format!("{root}/results/sample_memprof.json"))
+        .expect("run `cargo run --example planar_scaling` to create the goldens");
+    let want_commvol = std::fs::read_to_string(format!("{root}/results/sample_commvol.json"))
         .expect("run `cargo run --example planar_scaling` to create the goldens");
     // Byte-identical: the simulation and the JSON writer are deterministic.
     // On mismatch, rerun the example and review the diff like any golden.
@@ -137,14 +139,27 @@ fn sample_artifacts_match_pinned_goldens() {
         memprof, want_memprof,
         "results/sample_memprof.json is stale"
     );
+    assert_eq!(
+        commvol, want_commvol,
+        "results/sample_commvol.json is stale"
+    );
     // And the pinned trace itself must stay a valid Chrome trace, now with
-    // memory counter tracks alongside the slices.
+    // memory and wire counter tracks alongside the slices.
     let stats = validate_chrome_trace(&Json::parse(&want_trace).unwrap()).unwrap();
     assert!(stats.max_nesting >= 3 && stats.flow_pairs > 0);
     assert!(
         stats.counter_events > 0,
         "sample trace must carry memory counter tracks"
     );
+    assert!(
+        want_trace.contains("\"wire rank 0\""),
+        "sample trace must carry wire counter tracks"
+    );
+    // The pinned wire report names every class and axis it charges.
+    let doc = Json::parse(&want_commvol).unwrap();
+    assert!(doc.get("total_sent_words").unwrap().as_f64().unwrap() > 0.0);
+    assert!(doc.get("by_class").unwrap().get("LPanel").is_some());
+    assert!(doc.get("by_axis").unwrap().get("z").is_some());
 }
 
 #[test]
