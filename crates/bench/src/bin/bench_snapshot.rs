@@ -161,9 +161,11 @@ fn main() {
         let mut wall_batched = f64::INFINITY;
         let mut runs = Vec::new();
         for _ in 0..reps {
+            // det-lint: allow(wall-clock): bench snapshots measure host wall time
             let t0 = std::time::Instant::now();
             let r = run_config_with(&prep, p, pz, false).expect("fixed suite configs are valid");
             wall = wall.min(t0.elapsed().as_secs_f64());
+            // det-lint: allow(wall-clock): bench snapshots measure host wall time
             let t1 = std::time::Instant::now();
             let rb = run_config_with(&prep, p, pz, true).expect("fixed suite configs are valid");
             wall_batched = wall_batched.min(t1.elapsed().as_secs_f64());

@@ -1,0 +1,440 @@
+//! Plan-time static checks: properties provable from the plan alone,
+//! before (or without) any execution.
+
+use crate::{CommPlan, Dir, OpKind};
+use costmodel::{Alg, PlanarModel};
+use std::collections::BTreeMap;
+
+/// Result of [`check_plan`]: summary counters plus every violation found.
+#[derive(Clone, Debug)]
+pub struct PlanAudit {
+    /// Human-readable violations; empty means the plan passed every check.
+    pub findings: Vec<String>,
+    pub ops: usize,
+    pub msgs: u64,
+    pub words: u64,
+    pub ranks: usize,
+}
+
+impl PlanAudit {
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+const MAX_FINDINGS: usize = 32;
+
+fn push(findings: &mut Vec<String>, extra: &mut usize, msg: String) {
+    if findings.len() < MAX_FINDINGS {
+        findings.push(msg);
+    } else {
+        *extra += 1;
+    }
+}
+
+/// Run every static check on the plan:
+///
+/// 1. **Tag-registry audit** — `simgrid::tags::audit()`: declared tag
+///    bases are aligned and pairwise disjoint, collective phase/round
+///    fields cannot alias (the plan-time form of the PR-4 fixes).
+/// 2. **Send/recv matching** — per channel `(src, dst, ctx, tag)`, the
+///    sender's planned word sequence equals the receiver's, in FIFO order;
+///    an unmatched or reordered message names the edge.
+/// 3. **Channel single-writer** — each channel carries messages of exactly
+///    one logical operation, so no two collectives or reductions can
+///    alias on a (ctx, tag) pair even transiently.
+/// 4. **Collective rosters** — every planned broadcast reaches each
+///    non-root member exactly once, the root never receives, and all
+///    `p - 1` edges stay inside the communicator.
+/// 5. **Deadlock freedom** — the dependence graph (per-rank program order
+///    plus k-th-send-enables-k-th-recv per channel) is acyclic, so the
+///    blocking-receive schedule cannot cycle.
+pub fn check_plan(plan: &CommPlan) -> PlanAudit {
+    let mut findings = Vec::new();
+    let mut extra = 0usize;
+
+    // 1. Tag-registry audit.
+    if let Err(e) = simgrid::tags::audit() {
+        push(&mut findings, &mut extra, format!("tag registry: {e}"));
+    }
+
+    // Channel table: (src, dst, ctx, tag) -> (send event ids+words in src
+    // program order, recv event ids+words in dst program order, op ids).
+    type Chan = (usize, usize, u64, u64);
+    #[derive(Default)]
+    struct ChanState {
+        sends: Vec<(usize, u64)>, // (global event id, words)
+        recvs: Vec<(usize, u64)>,
+        ops: Vec<u32>,
+    }
+    let mut chans: BTreeMap<Chan, ChanState> = BTreeMap::new();
+    let mut offsets = Vec::with_capacity(plan.events.len());
+    let mut next = 0usize;
+    for evs in &plan.events {
+        offsets.push(next);
+        next += evs.len();
+    }
+    let total_events = next;
+    let gid = |rank: usize, idx: usize| offsets[rank] + idx;
+
+    let mut msgs = 0u64;
+    let mut words = 0u64;
+    for (rank, evs) in plan.events.iter().enumerate() {
+        for (idx, ev) in evs.iter().enumerate() {
+            let (chan, entry) = match ev.dir {
+                Dir::Send => {
+                    msgs += 1;
+                    words += ev.words;
+                    ((rank, ev.peer, ev.ctx, ev.tag), true)
+                }
+                Dir::Recv => ((ev.peer, rank, ev.ctx, ev.tag), false),
+            };
+            let st = chans.entry(chan).or_default();
+            if entry {
+                st.sends.push((gid(rank, idx), ev.words));
+            } else {
+                st.recvs.push((gid(rank, idx), ev.words));
+            }
+            if !st.ops.contains(&ev.op) {
+                st.ops.push(ev.op);
+            }
+        }
+    }
+
+    // 2 + 3. Matching and single-writer, per channel.
+    for ((src, dst, ctx, tag), st) in &chans {
+        let tagname = simgrid::tags::describe(*tag);
+        if st.sends.len() != st.recvs.len() {
+            push(
+                &mut findings,
+                &mut extra,
+                format!(
+                    "unmatched channel {src}->{dst} ctx={ctx} {tagname}: \
+                     {} planned sends vs {} planned recvs",
+                    st.sends.len(),
+                    st.recvs.len()
+                ),
+            );
+        } else {
+            for (i, ((_, sw), (_, rw))) in st.sends.iter().zip(&st.recvs).enumerate() {
+                if sw != rw {
+                    push(
+                        &mut findings,
+                        &mut extra,
+                        format!(
+                            "word mismatch on channel {src}->{dst} ctx={ctx} {tagname} \
+                             message {i}: send plans {sw} words, recv expects {rw}"
+                        ),
+                    );
+                }
+            }
+        }
+        if st.ops.len() > 1 {
+            let labels: Vec<&str> = st
+                .ops
+                .iter()
+                .map(|&o| plan.ops[o as usize].label.as_str())
+                .collect();
+            push(
+                &mut findings,
+                &mut extra,
+                format!(
+                    "tag aliasing: channel {src}->{dst} ctx={ctx} {tagname} is used by \
+                     {} distinct operations: {labels:?}",
+                    st.ops.len()
+                ),
+            );
+        }
+    }
+
+    // 4. Collective rosters.
+    let mut op_events: Vec<Vec<(usize, &crate::PlanEvent)>> = vec![Vec::new(); plan.ops.len()];
+    for (rank, evs) in plan.events.iter().enumerate() {
+        for ev in evs {
+            op_events[ev.op as usize].push((rank, ev));
+        }
+    }
+    for (opid, meta) in plan.ops.iter().enumerate() {
+        let OpKind::Bcast { members, root } = &meta.kind else {
+            continue;
+        };
+        let p = members.len();
+        let label = &meta.label;
+        let mut recv_count = vec![0usize; p];
+        let mut send_total = 0usize;
+        for &(rank, ev) in &op_events[opid] {
+            let Some(local) = members.iter().position(|&m| m == rank) else {
+                push(
+                    &mut findings,
+                    &mut extra,
+                    format!("collective {label}: rank {rank} outside the roster participates"),
+                );
+                continue;
+            };
+            match ev.dir {
+                Dir::Send => send_total += 1,
+                Dir::Recv => recv_count[local] += 1,
+            }
+        }
+        if send_total != p - 1 {
+            push(
+                &mut findings,
+                &mut extra,
+                format!(
+                    "collective {label}: {send_total} planned edges, expected {}",
+                    p - 1
+                ),
+            );
+        }
+        for (local, &n) in recv_count.iter().enumerate() {
+            let expected = usize::from(local != *root);
+            if n != expected {
+                push(
+                    &mut findings,
+                    &mut extra,
+                    format!(
+                        "collective {label}: member {local} (world {}) receives {n} times, \
+                         expected {expected}",
+                        members[local]
+                    ),
+                );
+            }
+        }
+    }
+
+    // 5. Deadlock freedom: Kahn's algorithm over program-order and
+    // send-enables-recv edges.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); total_events];
+    let mut indeg = vec![0u32; total_events];
+    for (rank, evs) in plan.events.iter().enumerate() {
+        for idx in 1..evs.len() {
+            succs[gid(rank, idx - 1)].push(gid(rank, idx));
+            indeg[gid(rank, idx)] += 1;
+        }
+    }
+    for st in chans.values() {
+        for ((s, _), (r, _)) in st.sends.iter().zip(&st.recvs) {
+            succs[*s].push(*r);
+            indeg[*r] += 1;
+        }
+    }
+    let mut stack: Vec<usize> = (0..total_events).filter(|&e| indeg[e] == 0).collect();
+    let mut popped = 0usize;
+    while let Some(e) = stack.pop() {
+        popped += 1;
+        for &n in &succs[e] {
+            indeg[n] -= 1;
+            if indeg[n] == 0 {
+                stack.push(n);
+            }
+        }
+    }
+    if popped != total_events {
+        let stuck = indeg.iter().position(|&d| d > 0).unwrap_or(0);
+        let (rank, ev) = plan
+            .events
+            .iter()
+            .enumerate()
+            .find_map(|(r, evs)| {
+                let base = offsets[r];
+                (stuck >= base && stuck < base + evs.len()).then(|| (r, &evs[stuck - base]))
+            })
+            .expect("stuck event is in range");
+        push(
+            &mut findings,
+            &mut extra,
+            format!(
+                "dependence cycle: {} events cannot be scheduled; e.g. rank {rank} \
+                 {:?} peer {} {} ({})",
+                total_events - popped,
+                ev.dir,
+                ev.peer,
+                simgrid::tags::describe(ev.tag),
+                plan.ops[ev.op as usize].label
+            ),
+        );
+    }
+
+    if extra > 0 {
+        findings.push(format!("... and {extra} more findings"));
+    }
+    PlanAudit {
+        findings,
+        ops: plan.ops.len(),
+        msgs,
+        words,
+        ranks: plan.events.len(),
+    }
+}
+
+/// Check the planned per-rank communication volume against the paper's
+/// planar cost model (§IV-B): the busiest rank's planned words must sit
+/// within an order-of-magnitude band of `W_3D = W_xy + W_z` for the
+/// problem size. This is a sanity bound for planar-geometry problems (the
+/// models assume `sqrt(n)`-separator nested dissection) — a plan that
+/// drifts outside it has planned structurally wrong traffic (e.g. a
+/// replication factor scaling with `Pz`). Returns a summary line on pass.
+pub fn check_planar_volume(plan: &CommPlan, n: usize) -> Result<String, String> {
+    let p = plan.grid.size();
+    let pz = plan.grid.pz;
+    let model = PlanarModel::new(n as f64, p as f64);
+    let predicted = model.comm(Alg::ThreeD, pz as f64);
+    let planned = plan.max_rank_sent_words() as f64;
+    let ratio = planned / predicted;
+    let (lo, hi) = (1.0 / 32.0, 32.0);
+    let line = format!(
+        "planar volume: planned max-rank {planned:.0} words vs model {predicted:.0} \
+         (ratio {ratio:.3}, band [{lo:.3}, {hi:.0}])"
+    );
+    if ratio.is_finite() && ratio >= lo && ratio <= hi {
+        Ok(line)
+    } else {
+        Err(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommPlan, Dir, OpMeta, PlanEvent};
+    use obs::CommClass;
+    use simgrid::Grid3d;
+
+    fn ev(dir: Dir, peer: usize, tag: u64, words: u64, op: u32) -> PlanEvent {
+        PlanEvent {
+            dir,
+            peer,
+            ctx: 1,
+            tag,
+            words,
+            phase: "fact",
+            class: CommClass::Control,
+            level: 0,
+            op,
+        }
+    }
+
+    fn plan(events: Vec<Vec<PlanEvent>>, ops: Vec<OpMeta>) -> CommPlan {
+        CommPlan {
+            grid: Grid3d::new(events.len(), 1, 1),
+            events,
+            ops,
+        }
+    }
+
+    fn p2p_op(label: &str, src: usize, dst: usize, tag: u64) -> OpMeta {
+        OpMeta {
+            label: label.into(),
+            kind: OpKind::P2p { src, dst },
+            ctx: 1,
+            tag,
+        }
+    }
+
+    /// Regression for the PR-4 barrier-tag collision, promoted to a
+    /// plan-time failure. The legacy encoding computed per-round collective
+    /// tags as `base + round`, so round 1 of the barrier at `base` aliased
+    /// the collective at `base + 1` on the same communicator. A plan using
+    /// that arithmetic must be rejected by the single-writer channel check
+    /// before anything runs.
+    #[test]
+    fn legacy_additive_round_tags_are_rejected() {
+        let barrier_base = 0x40u64;
+        let other_base = 0x41u64;
+        // Op 0: barrier round 1 under the legacy `base + round` scheme.
+        // Op 1: a different collective whose base is the adjacent integer.
+        // Both produce a message on channel (0 -> 1, ctx 1, tag 0x41).
+        let p = plan(
+            vec![
+                vec![
+                    ev(Dir::Send, 1, barrier_base + 1, 1, 0),
+                    ev(Dir::Send, 1, other_base, 7, 1),
+                ],
+                vec![
+                    ev(Dir::Recv, 0, barrier_base + 1, 1, 0),
+                    ev(Dir::Recv, 0, other_base, 7, 1),
+                ],
+            ],
+            vec![
+                p2p_op("barrier round 1 (legacy tag)", 0, 1, barrier_base + 1),
+                p2p_op("collective at adjacent base", 0, 1, other_base),
+            ],
+        );
+        let audit = check_plan(&p);
+        assert!(
+            audit.findings.iter().any(|f| f.contains("tag aliasing")),
+            "legacy additive round tag not flagged: {:?}",
+            audit.findings
+        );
+    }
+
+    /// A send/recv cross dependency (both ranks receive before they send)
+    /// is statically detected as a dependence cycle.
+    #[test]
+    fn cyclic_wait_is_detected() {
+        let p = plan(
+            vec![
+                vec![ev(Dir::Recv, 1, 0x10, 4, 0), ev(Dir::Send, 1, 0x11, 4, 1)],
+                vec![ev(Dir::Recv, 0, 0x11, 4, 1), ev(Dir::Send, 0, 0x10, 4, 0)],
+            ],
+            vec![p2p_op("b to a", 1, 0, 0x10), p2p_op("a to b", 0, 1, 0x11)],
+        );
+        let audit = check_plan(&p);
+        assert!(
+            audit
+                .findings
+                .iter()
+                .any(|f| f.contains("dependence cycle")),
+            "cyclic wait not flagged: {:?}",
+            audit.findings
+        );
+    }
+
+    /// Word-count disagreement between the send and recv side of a channel
+    /// is a static finding naming the message index.
+    #[test]
+    fn word_mismatch_is_detected() {
+        let p = plan(
+            vec![
+                vec![ev(Dir::Send, 1, 0x10, 4, 0)],
+                vec![ev(Dir::Recv, 0, 0x10, 5, 0)],
+            ],
+            vec![p2p_op("payload", 0, 1, 0x10)],
+        );
+        let audit = check_plan(&p);
+        assert!(
+            audit.findings.iter().any(|f| f.contains("word mismatch")),
+            "word mismatch not flagged: {:?}",
+            audit.findings
+        );
+    }
+
+    /// An incomplete broadcast roster (a member the tree never reaches) is
+    /// a static finding.
+    #[test]
+    fn incomplete_bcast_roster_is_detected() {
+        let members = vec![0usize, 1, 2];
+        let p = plan(
+            vec![
+                vec![ev(Dir::Send, 1, 0x20, 9, 0)],
+                vec![ev(Dir::Recv, 0, 0x20, 9, 0)],
+                vec![],
+            ],
+            vec![OpMeta {
+                label: "bcast missing a member".into(),
+                kind: OpKind::Bcast { members, root: 0 },
+                ctx: 1,
+                tag: 0x20,
+            }],
+        );
+        let audit = check_plan(&p);
+        assert!(
+            audit
+                .findings
+                .iter()
+                .any(|f| f.contains("collective") && f.contains("expected")),
+            "incomplete roster not flagged: {:?}",
+            audit.findings
+        );
+    }
+}

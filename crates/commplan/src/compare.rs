@@ -1,0 +1,231 @@
+//! Plan-vs-measured comparison and JSON export.
+//!
+//! The comparison is *exact equality*, not a band: scheduled traffic is
+//! deterministic, so the measured `obs::commvol` ledger of a factor-only
+//! run must reproduce the plan cell-for-cell and edge-for-edge. The one
+//! quantity excluded is `struct_words` (padding-waste audit): zero-row
+//! detection inspects numeric block contents, which symbolic analysis
+//! cannot predict.
+
+use crate::{CommPlan, PlanAudit, PlannedRank};
+use obs::{CommReport, Json};
+use std::collections::BTreeMap;
+
+/// Summary of a successful plan-vs-ledger comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct CompareStats {
+    pub ranks: usize,
+    pub entries: usize,
+    pub edges: usize,
+    pub msgs: u64,
+    pub words: u64,
+}
+
+const MAX_MISMATCHES: usize = 24;
+
+/// Compare the static plan against the measured per-rank wire ledgers of a
+/// factor-only run (`reports[i]` is world rank `i`'s). Checks, per rank:
+/// every (phase, class, level, axis) ledger cell's message count and word
+/// volume, and every per-peer sent/received edge. Returns every mismatch,
+/// each naming the rank, the cell or edge, and both values.
+pub fn compare_with_measured(
+    plan: &CommPlan,
+    reports: &[CommReport],
+) -> Result<CompareStats, Vec<String>> {
+    let mut mismatches = Vec::new();
+    let mut extra = 0usize;
+    let mut push = |v: &mut Vec<String>, msg: String| {
+        if v.len() < MAX_MISMATCHES {
+            v.push(msg);
+        } else {
+            extra += 1;
+        }
+    };
+    if reports.len() != plan.events.len() {
+        return Err(vec![format!(
+            "rank count mismatch: plan has {}, ledger has {}",
+            plan.events.len(),
+            reports.len()
+        )]);
+    }
+    let mut stats = CompareStats {
+        ranks: reports.len(),
+        entries: 0,
+        edges: 0,
+        msgs: 0,
+        words: 0,
+    };
+    for (rank, report) in reports.iter().enumerate() {
+        let planned = plan.rank_ledger(rank);
+        stats.entries += planned.entries.len();
+        stats.edges += planned.sent_to.len() + planned.recv_from.len();
+        stats.msgs += planned.sent_to.values().map(|&(m, _)| m).sum::<u64>();
+        stats.words += planned.sent_to.values().map(|&(_, w)| w).sum::<u64>();
+
+        let mut measured: BTreeMap<_, (u64, u64)> = BTreeMap::new();
+        for e in &report.entries {
+            // The ledger never emits zero cells, but be tolerant: fold
+            // duplicates and drop empties so the comparison is on content.
+            if e.cell.msgs == 0 && e.cell.words == 0 {
+                continue;
+            }
+            let cell = measured
+                .entry((e.phase.clone(), e.class, e.level, e.axis))
+                .or_insert((0, 0));
+            cell.0 += e.cell.msgs;
+            cell.1 += e.cell.words;
+        }
+        for (key, planned_cell) in &planned.entries {
+            let (phase, class, level, axis) = key;
+            match measured.remove(key) {
+                Some(m) if m == *planned_cell => {}
+                got => {
+                    let (gm, gw) = got.unwrap_or((0, 0));
+                    push(
+                        &mut mismatches,
+                        format!(
+                            "rank {rank} cell ({phase}, {}, L{level}, {}): planned \
+                             {} msgs / {} words, measured {gm} msgs / {gw} words",
+                            class.as_str(),
+                            axis.as_str(),
+                            planned_cell.0,
+                            planned_cell.1
+                        ),
+                    );
+                }
+            }
+        }
+        for ((phase, class, level, axis), (m, w)) in measured {
+            push(
+                &mut mismatches,
+                format!(
+                    "rank {rank} cell ({phase}, {}, L{level}, {}): unplanned \
+                     measured traffic {m} msgs / {w} words",
+                    class.as_str(),
+                    axis.as_str()
+                ),
+            );
+        }
+
+        for (what, planned_edges, measured_edges) in [
+            ("sent_to", &planned.sent_to, &report.sent_to),
+            ("recv_from", &planned.recv_from, &report.recv_from),
+        ] {
+            let mut measured: BTreeMap<usize, (u64, u64)> = measured_edges
+                .iter()
+                .filter(|e| e.msgs > 0 || e.words > 0)
+                .map(|e| (e.peer, (e.msgs, e.words)))
+                .collect();
+            for (&peer, cell) in planned_edges {
+                match measured.remove(&peer) {
+                    Some(m) if m == *cell => {}
+                    got => {
+                        let (gm, gw) = got.unwrap_or((0, 0));
+                        push(
+                            &mut mismatches,
+                            format!(
+                                "rank {rank} edge {what} peer {peer}: planned {} msgs / \
+                                 {} words, measured {gm} msgs / {gw} words",
+                                cell.0, cell.1
+                            ),
+                        );
+                    }
+                }
+            }
+            for (peer, (m, w)) in measured {
+                push(
+                    &mut mismatches,
+                    format!(
+                        "rank {rank} edge {what} peer {peer}: unplanned measured \
+                         traffic {m} msgs / {w} words"
+                    ),
+                );
+            }
+        }
+    }
+    if extra > 0 {
+        mismatches.push(format!("... and {extra} more mismatches"));
+    }
+    if mismatches.is_empty() {
+        Ok(stats)
+    } else {
+        Err(mismatches)
+    }
+}
+
+fn ledger_json(pl: &PlannedRank) -> Json {
+    let edges = |edges: &BTreeMap<usize, (u64, u64)>| {
+        Json::Arr(
+            edges
+                .iter()
+                .map(|(&peer, &(msgs, words))| {
+                    Json::Obj(vec![
+                        ("peer".into(), Json::num(peer as f64)),
+                        ("msgs".into(), Json::num(msgs as f64)),
+                        ("words".into(), Json::num(words as f64)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    Json::Obj(vec![
+        (
+            "entries".into(),
+            Json::Arr(
+                pl.entries
+                    .iter()
+                    .map(|((phase, class, level, axis), &(msgs, words))| {
+                        Json::Obj(vec![
+                            ("phase".into(), Json::str(phase.clone())),
+                            ("class".into(), Json::str(class.as_str())),
+                            ("level".into(), Json::num(*level as f64)),
+                            ("axis".into(), Json::str(axis.as_str())),
+                            ("msgs".into(), Json::num(msgs as f64)),
+                            ("words".into(), Json::num(words as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("sent_to".into(), edges(&pl.sent_to)),
+        ("recv_from".into(), edges(&pl.recv_from)),
+    ])
+}
+
+/// Machine-readable plan document: grid shape, totals, static-check
+/// verdicts, and each rank's planned ledger in `commvol` schema (entries
+/// keyed by phase/class/level/axis plus per-peer edges).
+pub fn plan_json(plan: &CommPlan, audit: &PlanAudit) -> Json {
+    let g = plan.grid;
+    Json::Obj(vec![
+        ("schema".into(), Json::str("salu-commplan/1")),
+        (
+            "grid".into(),
+            Json::Obj(vec![
+                ("pr".into(), Json::num(g.grid2d.pr as f64)),
+                ("pc".into(), Json::num(g.grid2d.pc as f64)),
+                ("pz".into(), Json::num(g.pz as f64)),
+            ]),
+        ),
+        ("ops".into(), Json::num(audit.ops as f64)),
+        ("msgs".into(), Json::num(audit.msgs as f64)),
+        ("words".into(), Json::num(audit.words as f64)),
+        (
+            "max_rank_sent_words".into(),
+            Json::num(plan.max_rank_sent_words() as f64),
+        ),
+        ("checks_ok".into(), Json::Bool(audit.ok())),
+        (
+            "findings".into(),
+            Json::Arr(audit.findings.iter().map(Json::str).collect()),
+        ),
+        (
+            "per_rank".into(),
+            Json::Arr(
+                (0..plan.events.len())
+                    .map(|r| ledger_json(&plan.rank_ledger(r)))
+                    .collect(),
+            ),
+        ),
+    ])
+}

@@ -17,8 +17,9 @@ use slu2d::factor2d::{factor_nodes, FactorEnv, FactorOpts};
 use slu2d::store::{pack_blocks, unpack_blocks, BlockStore};
 use symbolic::Symbolic;
 
-/// Reduction message tag namespace (above the 2D kernel tags).
-const T_REDUCE: u64 = 9 << 48;
+/// Reduction message tag namespace (above the 2D kernel tags), from the
+/// workspace-wide audited registry.
+use simgrid::tags::T_REDUCE;
 
 /// Counters from a 3D factorization on one rank.
 #[derive(Clone, Copy, Debug, Default)]

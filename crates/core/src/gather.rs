@@ -17,7 +17,7 @@ use simgrid::Rank;
 use slu2d::store::{pack_blocks, unpack_blocks, BlockStore};
 use symbolic::Symbolic;
 
-const T_GATHER: u64 = 10 << 48;
+use simgrid::tags::T_GATHER;
 
 /// Ship every factor block owned by this rank whose supernode was factored
 /// on a non-zero grid to the corresponding rank of grid 0 (or receive them,

@@ -30,8 +30,7 @@ use slu2d::store::BlockStore;
 use std::sync::Arc;
 use symbolic::Symbolic;
 
-const T_ACC_RED: u64 = 12 << 48;
-const T_X_DOWN: u64 = 13 << 48;
+use simgrid::tags::{T_ACC_RED, T_X_DOWN};
 
 /// Solve `L U x = b` with the factors laid out as [`crate::factor3d`] left
 /// them. `b` must be the permuted right-hand side, available on every rank.

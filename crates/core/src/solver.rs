@@ -467,12 +467,13 @@ fn try_run(
                     let xp = solve_once(rank, b);
                     // Every rank materializes the full solution so iterative
                     // refinement can compute residuals locally.
-                    let mut x_full = rank.allreduce_sum(&world, xp, 11 << 48);
+                    let mut x_full = rank.allreduce_sum(&world, xp, simgrid::tags::CB_SOLVE_X);
                     for step in 0..refine_steps {
                         let ax = pa.matvec(&x_full);
                         let r: Vec<f64> = b.iter().zip(ax).map(|(bi, axi)| bi - axi).collect();
                         let dxp = solve_once(rank, &r);
-                        let dx = rank.allreduce_sum(&world, dxp, (12 << 48) | step as u64);
+                        let dx =
+                            rank.allreduce_sum(&world, dxp, simgrid::tags::CB_REFINE | step as u64);
                         for (xi, di) in x_full.iter_mut().zip(dx) {
                             *xi += di;
                         }
@@ -500,14 +501,19 @@ fn try_run(
                     let xp = solve_nodes(rank, &env, &store, &sym, &nodes, b);
                     // Every layer rank materializes the full solution so
                     // iterative refinement can compute residuals locally.
-                    let mut x_full = rank.allreduce_sum(&comms.layer, xp, 11 << 48);
+                    let mut x_full =
+                        rank.allreduce_sum(&comms.layer, xp, simgrid::tags::CB_SOLVE_X);
                     for step in 0..refine_steps {
                         // r = b - A x, computed redundantly (deterministic)
                         // on each layer rank from the shared matrix values.
                         let ax = pa.matvec(&x_full);
                         let r: Vec<f64> = b.iter().zip(ax).map(|(bi, axi)| bi - axi).collect();
                         let dxp = solve_nodes(rank, &env, &store, &sym, &nodes, &r);
-                        let dx = rank.allreduce_sum(&comms.layer, dxp, (12 << 48) | step as u64);
+                        let dx = rank.allreduce_sum(
+                            &comms.layer,
+                            dxp,
+                            simgrid::tags::CB_REFINE | step as u64,
+                        );
                         for (xi, di) in x_full.iter_mut().zip(dx) {
                             *xi += di;
                         }

@@ -30,8 +30,7 @@ use simgrid::{Grid3d, Payload, Rank};
 use std::collections::HashMap;
 use symbolic::{BlockFill, SnPartition};
 
-const T_SYM_RED: u64 = 14 << 48;
-const T_SYM_GATHER: u64 = 15 << 48;
+use simgrid::tags::{T_SYM_GATHER, T_SYM_RED};
 
 /// Build the vertex-count-based tree-forest used by the symbolic phase.
 pub fn symbolic_forest(tree: &SepTree, pz: usize) -> EtreeForest {

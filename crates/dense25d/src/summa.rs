@@ -18,10 +18,7 @@ use densela::{flops, gemm, Mat};
 use simgrid::topology::GridComms;
 use simgrid::{Payload, Rank};
 
-const T_APAN: u64 = 21 << 48;
-const T_BPAN: u64 = 22 << 48;
-const T_REPL: u64 = 23 << 48;
-const T_CRED: u64 = 24 << 48;
+use simgrid::tags::{T_APAN, T_BPAN, T_CRED, T_REPL};
 
 /// One rank's step of 2D SUMMA: multiply the distributed tiles
 /// `c_tile += a_tile-row panels x b_tile-col panels`. Collective across the

@@ -28,50 +28,18 @@
 //! consecutive base tags, or an allreduce whose XORed broadcast tag lands
 //! on another collective's reduce tag. Dedicated bit fields make the
 //! sub-namespaces disjoint by construction; `coll_tags::namespaces_are_
-//! disjoint` pins the property.
+//! disjoint` pins the property. The layout constants and the workspace-wide
+//! registry of declared tag bases live in [`crate::tags`], whose `audit()`
+//! the static communication planner re-runs at plan time.
 
 use crate::comm::Comm;
 use crate::payload::Payload;
 use crate::rank::Rank;
+use crate::tags::{
+    coll_tag, MAX_ROUNDS, PH_ALLREDUCE_BCAST, PH_BARRIER, PH_BCAST, PH_GATHER, PH_MAX_BCAST,
+    PH_MAX_REDUCE, PH_REDUCE, ROUND_SHIFT,
+};
 use obs::SpanCat;
-
-/// High-bit namespace for collective-internal tags. `pub(crate)` so the
-/// rank layer can classify untagged collective traffic for the wire ledger.
-pub(crate) const COLL_TAG: u64 = 1 << 62;
-
-/// Phase-id field: bits 57..=59.
-const PHASE_SHIFT: u32 = 57;
-/// Broadcast requested directly via [`Rank::bcast`].
-const PH_BCAST: u64 = 1 << PHASE_SHIFT;
-/// Reduce-to-root — both [`Rank::reduce_sum`] and the reduce half of
-/// [`Rank::allreduce_sum`] (the two are sequentially indistinguishable on
-/// a FIFO channel, and allreduce's broadcast half is namespaced apart).
-const PH_REDUCE: u64 = 2 << PHASE_SHIFT;
-/// The broadcast half of [`Rank::allreduce_sum`].
-const PH_ALLREDUCE_BCAST: u64 = 3 << PHASE_SHIFT;
-/// The reduce half of [`Rank::allreduce_max`].
-const PH_MAX_REDUCE: u64 = 4 << PHASE_SHIFT;
-/// The broadcast half of [`Rank::allreduce_max`].
-const PH_MAX_BCAST: u64 = 5 << PHASE_SHIFT;
-/// Dissemination-barrier rounds (combined with the round field).
-const PH_BARRIER: u64 = 6 << PHASE_SHIFT;
-/// Linear gather to root.
-const PH_GATHER: u64 = 7 << PHASE_SHIFT;
-
-/// Per-round counter field for the barrier: bits 53..=56, zero for every
-/// other collective. 4 bits bound `ceil(log2 p)` rounds at `p <= 2^16`.
-const ROUND_SHIFT: u32 = 53;
-const MAX_ROUNDS: u64 = 16;
-
-/// Compose a collective-internal tag: namespace bit, phase id, caller tag.
-/// The caller's tag must fit below the round field.
-fn coll_tag(phase: u64, tag: u64) -> u64 {
-    assert!(
-        tag < 1 << ROUND_SHIFT,
-        "collective base tag {tag:#x} overflows into the round/phase namespace"
-    );
-    COLL_TAG | phase | tag
-}
 
 impl Rank {
     /// Broadcast from `root` (local rank) to every member of `comm`.
@@ -320,6 +288,7 @@ impl Rank {
 #[cfg(test)]
 mod coll_tags {
     use super::*;
+    use crate::tags::COLL_TAG;
 
     const PHASES: &[(u64, &str)] = &[
         (PH_BCAST, "bcast"),

@@ -52,6 +52,7 @@ pub mod machine;
 pub mod payload;
 pub mod rank;
 pub mod stats;
+pub mod tags;
 pub mod timemodel;
 pub mod topology;
 pub mod trace;

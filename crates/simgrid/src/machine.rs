@@ -303,6 +303,7 @@ impl Machine {
                         rank: world_rank,
                     };
                     let board = Arc::clone(&fctx.board);
+                    // det-lint: allow(wall-clock): host-side wall_secs profiling only
                     let started = Instant::now();
                     let mut rank = Rank::new(
                         world_rank, n, senders, inbox, model, tracing, graph, san, fctx,

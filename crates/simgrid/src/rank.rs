@@ -1,7 +1,6 @@
 //! The per-rank execution context: point-to-point messaging, clocks,
 //! counters, spans, and metrics.
 
-use crate::coll::COLL_TAG;
 use crate::comm::Comm;
 use crate::faultlab::{
     FailKind, FailureBoard, FaultDecision, FaultPlan, OrderlyAbort, RankFailure, RecvError,
@@ -9,6 +8,7 @@ use crate::faultlab::{
 };
 use crate::payload::Payload;
 use crate::stats::{PhaseCounter, RankReport};
+use crate::tags::COLL_TAG;
 use crate::timemodel::TimeModel;
 use crate::topology::Grid3d;
 use commcheck::{SanState, SendRec, VClock, WaitGraph, WaitInfo};
@@ -763,6 +763,7 @@ impl Rank {
                 phase: self.phase.clone(),
             },
         );
+        // det-lint: allow(wall-clock): host watchdog against a hung recv, not simulated time
         let deadline = Instant::now() + recv_timeout();
         let result = loop {
             if let Some(report) = self.wait_graph.deadlock_report() {
@@ -801,6 +802,7 @@ impl Rank {
                             tag,
                         });
                     }
+                    // det-lint: allow(wall-clock): host watchdog check
                     if Instant::now() >= deadline {
                         break Err(RecvError::WallTimeout {
                             src: src_desc,
@@ -1090,6 +1092,7 @@ impl Rank {
         let mut metrics = self.metrics;
         metrics.gauge_max("mem.peak_bytes", peak_mem as f64);
         RankReport {
+            // det-lint: allow(unordered): collected into the report's BTreeMap
             traffic: self.traffic.into_iter().collect(),
             clock,
             t_comm: self.t_comm,

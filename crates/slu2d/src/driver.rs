@@ -166,7 +166,7 @@ pub fn run_2d(
             rank.set_phase("solve");
             let xp = solve_nodes(rank, &env, &store, &sym, &nodes, b);
             // Materialize the full solution on local rank 0 of the layer.
-            rank.reduce_sum(&comms.layer, 0, xp, 9 << 48)
+            rank.reduce_sum(&comms.layer, 0, xp, simgrid::tags::CB_LAYER_XSUM)
         });
         (outcome.perturbations, x_partial.flatten())
     });

@@ -19,10 +19,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use symbolic::Symbolic;
 
-const T_FWD_RED: u64 = 5 << 48;
-const T_FWD_BC: u64 = 6 << 48;
-const T_BWD_RED: u64 = 7 << 48;
-const T_BWD_BC: u64 = 8 << 48;
+use simgrid::tags::{T_BWD_BC, T_BWD_RED, T_FWD_BC, T_FWD_RED};
 
 /// Per-rank running state of a distributed triangular solve.
 pub struct DistSolveState {

@@ -177,6 +177,7 @@ impl BlockStore {
 
     /// Iterate over `(block_row, block_col)` keys (arbitrary order).
     pub fn keys(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        // det-lint: allow(unordered): documented arbitrary order; ordered consumers sort
         self.blocks.keys().copied()
     }
 

@@ -1,0 +1,265 @@
+#![forbid(unsafe_code)]
+
+//! Workspace automation. Currently one task:
+//!
+//! `cargo run -p xtask -- lint-determinism`
+//!
+//! A static source lint for the two classic determinism leaks in a
+//! simulated-machine codebase whose reports must be bit-reproducible:
+//!
+//! 1. **Unordered iteration** — iterating a `HashMap`/`HashSet` and letting
+//!    the hash order reach a report, ledger, or wire. A site is clean if it
+//!    visibly restores order (a `sort` nearby), folds into an ordered
+//!    container (`BTreeMap`/`BTreeSet`), or reduces commutatively (`sum`,
+//!    `count`, `all`, `any`, `min`, `max`, `fold`). Anything else needs an
+//!    explicit `// det-lint: allow(unordered): <why>` on the same or the
+//!    preceding line.
+//! 2. **Wall-clock reads** — `Instant::now()` / `SystemTime::now()` outside
+//!    `crates/simgrid/src/timemodel.rs`. Simulated time must come from the
+//!    time model; host-side profiling reads are fine but must declare
+//!    themselves with `// det-lint: allow(wall-clock): <why>`.
+//!
+//! The lint is a line-based heuristic (no type inference): it tracks
+//! identifiers bound to `HashMap`/`HashSet` within one file and flags
+//! iterator-producing calls on them. That catches the real-world pattern —
+//! a hash container drained straight into output — while the pragma escape
+//! hatch keeps justified sites self-documenting.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint-determinism") => {
+            let findings = lint_determinism();
+            if findings.is_empty() {
+                println!("lint-determinism: clean");
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("lint-determinism: {} finding(s)", findings.len());
+                exit(1);
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: cargo run -p xtask -- <task>\n\
+                 \n\
+                 tasks:\n\
+                 \x20 lint-determinism  flag HashMap/HashSet iteration that can leak\n\
+                 \x20                   hash order into reports, and wall-clock reads\n\
+                 \x20                   outside the time model (see docs/commplan.md)"
+            );
+            exit(2);
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Directories never scanned: vendored shims, build output, and test-only
+/// trees (tests may iterate however they like — their assertions are
+/// order-free by construction or they fail visibly). The `xtask` crate
+/// skips itself: its source spells out the very patterns it greps for.
+const SKIP_DIRS: &[&str] = &["shims", "target", "tests", "examples", "benches", "xtask"];
+
+/// The one file allowed to read the host clock without a pragma.
+const TIMEMODEL: &str = "crates/simgrid/src/timemodel.rs";
+
+fn lint_determinism() -> Vec<String> {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(text) = fs::read_to_string(file) else {
+            continue;
+        };
+        lint_file(&rel, &text, &mut findings);
+    }
+    findings
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Extract the identifier ending just before byte offset `end`.
+fn ident_before(line: &str, end: usize) -> Option<&str> {
+    let head = &line[..end];
+    let start = head.rfind(|c: char| !is_ident_char(c)).map_or(0, |i| i + 1);
+    let id = &head[start..];
+    (!id.is_empty() && !id.starts_with(|c: char| c.is_ascii_digit())).then_some(id)
+}
+
+/// Names bound to a `HashMap`/`HashSet` in this file: struct fields and
+/// parameters (`name: [&[mut ]]Hash{Map,Set}<`) and let-bindings
+/// (`let [mut ]name ... = Hash{Map,Set}::...`).
+fn hash_bound_names(lines: &[&str]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut add = |n: &str| {
+        if !n.is_empty() && !names.iter().any(|x| x == n) {
+            names.push(n.to_string());
+        }
+    };
+    for line in lines {
+        for ty in ["HashMap<", "HashSet<"] {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(ty) {
+                let at = from + pos;
+                from = at + ty.len();
+                // Walk back over `: `, `&`, `mut ` to the declared name.
+                let head = line[..at].trim_end();
+                let head = head.strip_suffix('&').unwrap_or(head).trim_end();
+                let head = head.strip_suffix("mut").unwrap_or(head).trim_end();
+                let head = head.strip_suffix('&').unwrap_or(head).trim_end();
+                if let Some(head) = head.strip_suffix(':') {
+                    if let Some(id) = ident_before(head.trim_end(), head.trim_end().len()) {
+                        add(id);
+                    }
+                }
+            }
+        }
+        if let Some(eq) = line
+            .find("= HashMap::")
+            .or_else(|| line.find("= HashSet::"))
+        {
+            if let Some(let_at) = line.find("let ") {
+                let binding = line[let_at + 4..eq].trim();
+                let binding = binding.strip_prefix("mut ").unwrap_or(binding);
+                let end = binding
+                    .find(|c: char| !is_ident_char(c))
+                    .unwrap_or(binding.len());
+                add(&binding[..end]);
+            }
+        }
+    }
+    names
+}
+
+/// Iterator-producing calls whose order is the hash order.
+const ITER_CALLS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+];
+
+/// Evidence within the site's vicinity that hash order cannot leak: the
+/// stream is re-sorted, folded into an ordered container, or reduced by a
+/// commutative operation.
+const ORDER_FREE: &[&str] = &[
+    "sort", ".sum()", ".sum::<", ".count()", ".all(", ".any(", ".min(", ".max(", ".min_by",
+    ".max_by", ".fold(", "BTreeMap", "BTreeSet",
+];
+
+fn has_pragma(lines: &[&str], i: usize, kind: &str) -> bool {
+    let tag = format!("det-lint: allow({kind})");
+    lines[i].contains(&tag) || (i > 0 && lines[i - 1].contains(&tag))
+}
+
+fn order_free_nearby(lines: &[&str], i: usize) -> bool {
+    lines[i..(i + 4).min(lines.len())]
+        .iter()
+        .any(|l| ORDER_FREE.iter().any(|p| l.contains(p)))
+}
+
+fn lint_file(rel: &str, text: &str, findings: &mut Vec<String>) {
+    let mut lines: Vec<&str> = text.lines().collect();
+    // Test modules sit at the bottom of files by convention; everything
+    // from the first `#[cfg(test)]` down is out of scope.
+    if let Some(cut) = lines.iter().position(|l| l.trim() == "#[cfg(test)]") {
+        lines.truncate(cut);
+    }
+
+    if rel != TIMEMODEL {
+        for (i, line) in lines.iter().enumerate() {
+            if (line.contains("Instant::now") || line.contains("SystemTime::now"))
+                && !has_pragma(&lines, i, "wall-clock")
+            {
+                findings.push(format!(
+                    "{rel}:{}: wall-clock read outside {TIMEMODEL}; derive time from \
+                     the time model or annotate `// det-lint: allow(wall-clock): <why>`",
+                    i + 1
+                ));
+            }
+        }
+    }
+
+    let names = hash_bound_names(&lines);
+    if names.is_empty() {
+        return;
+    }
+    for (i, line) in lines.iter().enumerate() {
+        for name in &names {
+            let mut hit = ITER_CALLS.iter().any(|call| {
+                let needle = format!("{name}{call}");
+                line.match_indices(&needle).any(|(at, _)| {
+                    at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap())
+                })
+            });
+            // `for x in map` / `for x in &map` (but not `in map[...]`,
+            // which indexes rather than iterates).
+            if !hit {
+                for pre in [" in &", " in "] {
+                    let needle = format!("{pre}{name}");
+                    hit |= line.match_indices(&needle).any(|(at, m)| {
+                        let after = at + m.len();
+                        let next = line[after..].chars().next();
+                        !matches!(next, Some(c) if is_ident_char(c) || c == '[' || c == '.')
+                    });
+                }
+            }
+            if hit && !has_pragma(&lines, i, "unordered") && !order_free_nearby(&lines, i) {
+                findings.push(format!(
+                    "{rel}:{}: iteration over hash container `{name}` with no visible \
+                     reordering; sort the stream, use a BTree container, or annotate \
+                     `// det-lint: allow(unordered): <why>`",
+                    i + 1
+                ));
+                break;
+            }
+        }
+    }
+}

@@ -30,6 +30,8 @@ struct Args {
     metrics_out: Option<String>,
     mem_out: Option<String>,
     commvol_out: Option<String>,
+    plan_out: Option<String>,
+    plan_check: bool,
     conformance: Option<String>,
     sanitize: bool,
     batched_schur: bool,
@@ -73,6 +75,17 @@ fn usage() -> ! {
          \x20                    per-level/per-axis sent words, per-edge\n\
          \x20                    totals, padding-waste ratios) as JSON;\n\
          \x20                    '-' = stdout (see docs/commvol.md)\n\
+         \x20 --plan-out FILE    derive the static communication plan from\n\
+         \x20                    symbolic analysis alone (per-rank, per-phase\n\
+         \x20                    message counts and exact word volumes, keyed\n\
+         \x20                    like the wire ledger), run the plan-time\n\
+         \x20                    checks, and write it as JSON; '-' = stdout\n\
+         \x20                    (see docs/commplan.md). Exit 1 on findings.\n\
+         \x20 --plan-check       additionally run a factor-only pass and\n\
+         \x20                    assert its measured wire ledger matches the\n\
+         \x20                    plan EXACTLY, per (phase, class, level, axis)\n\
+         \x20                    cell and per peer edge — recovered fault runs\n\
+         \x20                    included. Exit 1 naming the first mismatch.\n\
          \x20 --conformance FILE check measured memory/communication against\n\
          \x20                    the Section IV cost models (runs a 2D baseline)\n\
          \x20                    and write the pass/fail report as JSON;\n\
@@ -123,6 +136,8 @@ fn parse_args() -> Args {
         metrics_out: None,
         mem_out: None,
         commvol_out: None,
+        plan_out: None,
+        plan_check: false,
         conformance: None,
         sanitize: false,
         batched_schur: false,
@@ -163,6 +178,8 @@ fn parse_args() -> Args {
             "--metrics-out" => args.metrics_out = Some(val("--metrics-out")),
             "--mem-out" => args.mem_out = Some(val("--mem-out")),
             "--commvol-out" => args.commvol_out = Some(val("--commvol-out")),
+            "--plan-out" => args.plan_out = Some(val("--plan-out")),
+            "--plan-check" => args.plan_check = true,
             "--conformance" => args.conformance = Some(val("--conformance")),
             "--sanitize" => args.sanitize = true,
             "--batched-schur" => args.batched_schur = true,
@@ -316,6 +333,7 @@ fn main() {
     let x_true: Vec<f64> = (0..a.nrows).map(|i| ((i % 21) as f64) - 10.0).collect();
     let b = a.matvec(&x_true);
 
+    // det-lint: allow(wall-clock): CLI progress timing only
     let t0 = std::time::Instant::now();
     let prep = Prepared::new(a, geometry, args.leaf, args.maxsup);
     println!(
@@ -346,6 +364,49 @@ fn main() {
         recv_deadline: args.recv_deadline,
         ..Default::default()
     };
+
+    // Static communication plan: derived from symbolic analysis alone,
+    // before (and independent of) any numeric execution.
+    let plan = if args.plan_out.is_some() || args.plan_check {
+        let forest = salu::lu3d::EtreeForest::build(&prep.tree, &prep.sym, pz);
+        let grid3 = salu::simgrid::Grid3d::new(pr, pc, pz);
+        let plan = salu::commplan::build_plan(&prep.sym, &forest, grid3, args.lookahead);
+        let audit = salu::commplan::check_plan(&plan);
+        println!(
+            "\ncomm plan: {} ops, {} msgs, {} words planned; static checks {}",
+            audit.ops,
+            audit.msgs,
+            audit.words,
+            if audit.ok() { "passed" } else { "FAILED" }
+        );
+        if !audit.ok() {
+            for f in &audit.findings {
+                eprintln!("  {f}");
+            }
+            exit(1);
+        }
+        if planar {
+            match salu::commplan::check_planar_volume(&plan, prep.a.nrows) {
+                Ok(line) => println!("  {line}"),
+                Err(line) => {
+                    eprintln!("  planar volume FAILED: {line}");
+                    exit(1);
+                }
+            }
+        }
+        if let Some(path) = &args.plan_out {
+            emit_json(
+                path,
+                &salu::commplan::plan_json(&plan, &audit),
+                "communication plan",
+            );
+        }
+        Some(plan)
+    } else {
+        None
+    };
+
+    // det-lint: allow(wall-clock): CLI progress timing only
     let t0 = std::time::Instant::now();
     let out = try_factor_and_solve(&prep, &cfg, Some(b.clone())).unwrap_or_else(|e| {
         eprintln!("{e}");
@@ -443,6 +504,31 @@ fn main() {
     }
     if let Some(path) = &args.commvol_out {
         emit_json(path, &out.commvol_profile(), "wire-volume report");
+    }
+
+    if args.plan_check {
+        // The main run's ledger includes solve/refine traffic; the plan
+        // covers the factorization, so measure a factor-only pass under the
+        // same config — fault plan included: a recovered run must still
+        // match bit-for-bit (retransmissions live in fault.* counters, not
+        // the ledger).
+        let plan = plan.as_ref().expect("plan built when --plan-check is set");
+        let fonly = factor_only(&prep, &cfg);
+        let ledgers: Vec<_> = fonly.reports.iter().map(|r| r.commvol.clone()).collect();
+        match salu::commplan::compare_with_measured(plan, &ledgers) {
+            Ok(stats) => println!(
+                "\nplan check: measured ledger matches the plan exactly \
+                 ({} ranks, {} cells, {} edges, {} msgs / {} words)",
+                stats.ranks, stats.entries, stats.edges, stats.msgs, stats.words
+            ),
+            Err(mismatches) => {
+                eprintln!("\nplan check FAILED: measured ledger deviates from the plan:");
+                for m in &mismatches {
+                    eprintln!("  {m}");
+                }
+                exit(1);
+            }
+        }
     }
 
     if args.condest {

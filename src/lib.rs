@@ -47,6 +47,7 @@
 
 pub mod sample;
 
+pub use commplan;
 pub use costmodel;
 pub use dense25d;
 pub use densela;
