@@ -8,7 +8,9 @@
 //! cargo run --release -p bench --bin bench_snapshot [OUT.json]
 //! ```
 //!
-//! The default output path is `BENCH_pr4.json` in the current directory.
+//! The default output path is `results/BENCH_pr4.json`, where the whole
+//! `BENCH_*.json` trajectory lives (the campaign comparator discovers
+//! baselines there — see docs/campaign.md).
 //! Matrix sizes are pinned (not `SALU_SCALE`-dependent) so snapshots from
 //! different checkouts compare like for like; wall-clock is the only
 //! host-sensitive field. Each point runs twice — `batched_schur` off and
@@ -139,7 +141,7 @@ fn suite() -> Vec<Point> {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+        .unwrap_or_else(|| "results/BENCH_pr4.json".to_string());
     let mut points = Vec::new();
     for pt in suite() {
         let Point {

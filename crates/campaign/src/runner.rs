@@ -1,0 +1,369 @@
+//! Campaign execution: expand a spec into jobs, run them (optionally in
+//! parallel), and collect one [`Snapshot`] point per job plus per-job
+//! artifact directories.
+//!
+//! Each job factors its matrix `reps` times and keeps the **minimum** host
+//! wall-clock — the standard estimator for run-to-run noise, lifted from
+//! the old `bench_snapshot` binary. Simulated metrics (makespan, ledger
+//! bytes, wire words) are bitwise deterministic, so they are taken from
+//! the last repetition after asserting the factor digest never moved.
+//!
+//! Every job writes `metrics.json`, `memprof.json`, `commvol.json`, and
+//! `hostprof.json` into `<out>/jobs/<slug>/`; with `trace = true` in the
+//! spec, one extra traced repetition also writes `trace.json` (kept out of
+//! the timed repetitions so tracing overhead never pollutes the wall
+//! column).
+
+use crate::snapshot::{BenchPoint, PointKey, Snapshot, DEFAULT_LOOKAHEAD};
+use crate::spec::{CampaignSpec, Job, MatrixSource};
+use lu3d::solver::{try_factor_only, Output3d, SolverConfig};
+use simgrid::{FaultPlan, RetryPolicy, TimeModel};
+use slu2d::driver::Prepared;
+use sparsemat::testmats::{test_matrix, Geometry, Scale};
+use sparsemat::{matgen, Csr};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything a finished campaign run produced.
+pub struct CampaignOutcome {
+    pub snapshot: Snapshot,
+    /// Sweep combinations that could not form a grid (reported by the
+    /// CLI so the sweep never shrinks silently).
+    pub skipped: Vec<String>,
+    /// One human-readable line per job, in job order.
+    pub lines: Vec<String>,
+}
+
+/// Build the matrix for one source. Generator seeds are pinned so the
+/// same spec always factors the same matrix.
+fn build_matrix(source: &MatrixSource) -> Result<(Csr, Geometry), String> {
+    match source {
+        MatrixSource::Named { name, scale } => {
+            let scale = match scale.as_str() {
+                "tiny" => Scale::Tiny,
+                "small" => Scale::Small,
+                "bench" => Scale::Bench,
+                other => return Err(format!("unknown scale '{other}'")),
+            };
+            let tm = test_matrix(name, scale);
+            Ok((tm.matrix, tm.geometry))
+        }
+        MatrixSource::Gen { spec } => {
+            let (kind, size) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("bad gen spec '{spec}', expected KIND:SIZE"))?;
+            let k: usize = size
+                .parse()
+                .map_err(|_| format!("bad size in gen spec '{spec}'"))?;
+            let unsym = 0.1;
+            match kind {
+                "grid2d" => Ok((
+                    matgen::grid2d_5pt(k, k, unsym, 1),
+                    Geometry::Grid2d { nx: k, ny: k },
+                )),
+                "grid2d9" => Ok((
+                    matgen::grid2d_9pt(k, k, unsym, 1),
+                    Geometry::Grid2d { nx: k, ny: k },
+                )),
+                "grid3d" => Ok((
+                    matgen::grid3d_7pt(k, k, k, unsym, 1),
+                    Geometry::Grid3d {
+                        nx: k,
+                        ny: k,
+                        nz: k,
+                    },
+                )),
+                "grid3d27" => Ok((
+                    matgen::grid3d_27pt(k, k, k, unsym, 1),
+                    Geometry::Grid3d {
+                        nx: k,
+                        ny: k,
+                        nz: k,
+                    },
+                )),
+                "kkt" => Ok((matgen::kkt_3d(k, k, k, 1e-2, 1), Geometry::General)),
+                other => Err(format!("unknown generator kind '{other}'")),
+            }
+        }
+    }
+}
+
+/// Solver config for one job. Mirrors `bench::config`'s near-square layer
+/// split so campaign points are comparable with the historical snapshots.
+fn job_config(job: &Job) -> Result<SolverConfig, String> {
+    let pxy = job.p / job.pz;
+    if pxy == 0 {
+        return Err(format!("p={} pz={}: empty layer", job.p, job.pz));
+    }
+    let (pr, pc) = bench::layer_shape(pxy);
+    let fault_plan = match &job.faults {
+        Some(spec) => {
+            Some(FaultPlan::parse(spec, 1).map_err(|e| format!("bad faults spec '{spec}': {e}"))?)
+        }
+        None => None,
+    };
+    Ok(SolverConfig {
+        pr,
+        pc,
+        pz: job.pz,
+        model: TimeModel::edison_like(),
+        lookahead: job.lookahead,
+        batched_schur: job.batched,
+        host_profiling: true,
+        retry: fault_plan.is_some().then(RetryPolicy::default),
+        fault_plan,
+        ..Default::default()
+    })
+}
+
+/// Result of one job's timed repetitions.
+struct JobRun {
+    wall_secs: f64,
+    out: Output3d,
+    n: usize,
+}
+
+fn run_job(job: &Job, prep: &Prepared) -> Result<JobRun, String> {
+    let cfg = job_config(job)?;
+    let mut wall = f64::INFINITY;
+    let mut last: Option<Output3d> = None;
+    for _ in 0..job.reps.max(1) {
+        // det-lint: allow(wall-clock): campaign jobs measure host wall time
+        let t0 = std::time::Instant::now();
+        let out = try_factor_only(prep, &cfg).map_err(|e| format!("{} failed: {e}", job.slug()))?;
+        wall = wall.min(t0.elapsed().as_secs_f64());
+        if let Some(prev) = &last {
+            if prev.factor_digest != out.factor_digest {
+                return Err(format!(
+                    "{}: factor digest moved between repetitions ({:#018x} != {:#018x})",
+                    job.slug(),
+                    prev.factor_digest,
+                    out.factor_digest
+                ));
+            }
+        }
+        last = Some(out);
+    }
+    Ok(JobRun {
+        wall_secs: wall,
+        out: last.expect("at least one repetition"),
+        n: prep.a.nrows,
+    })
+}
+
+/// Write one job's artifact files; returns a line describing the dir.
+fn write_artifacts(
+    dir: &Path,
+    job: &Job,
+    prep: &Prepared,
+    run: &JobRun,
+    trace: bool,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let write = |name: &str, doc: &simgrid::Json| -> Result<(), String> {
+        let path = dir.join(name);
+        std::fs::write(&path, doc.pretty()).map_err(|e| format!("write {}: {e}", path.display()))
+    };
+    write("metrics.json", &run.out.metrics().to_json())?;
+    write("memprof.json", &run.out.mem_profile())?;
+    write("commvol.json", &run.out.commvol_profile())?;
+    if let Some(doc) = run.out.hostprof_profile() {
+        write("hostprof.json", &doc)?;
+    }
+    if trace {
+        // One extra traced repetition, outside the timed loop: tracing
+        // allocates span stores and would pollute the wall column.
+        let mut cfg = job_config(job)?;
+        cfg.tracing = true;
+        let out = try_factor_only(prep, &cfg)
+            .map_err(|e| format!("{} trace run failed: {e}", job.slug()))?;
+        if out.factor_digest != run.out.factor_digest {
+            return Err(format!(
+                "{}: traced run changed the factor digest",
+                job.slug()
+            ));
+        }
+        write(
+            "trace.json",
+            &out.chrome_trace().expect("tracing was enabled"),
+        )?;
+    }
+    Ok(())
+}
+
+/// Convert one finished job into a snapshot point.
+fn to_point(job: &Job, run: &JobRun) -> BenchPoint {
+    let s = run.out.summary();
+    BenchPoint {
+        key: PointKey {
+            matrix: job.matrix.label(),
+            n: run.n as u64,
+            p: job.p as u64,
+            pz: job.pz as u64,
+            batched: job.batched,
+            lookahead: (job.lookahead as u64 != DEFAULT_LOOKAHEAD).then_some(job.lookahead as u64),
+            faults: job.faults.clone(),
+        },
+        scale: job.matrix.scale(),
+        metrics: vec![
+            ("wall_secs".into(), run.wall_secs),
+            ("makespan_secs".into(), run.out.makespan()),
+            ("max_peak_bytes".into(), run.out.max_peak_bytes() as f64),
+            ("total_peak_bytes".into(), run.out.total_peak_bytes() as f64),
+            ("w_fact_words".into(), run.out.w_fact() as f64),
+            ("w_red_words".into(), run.out.w_red() as f64),
+            ("total_sent_words".into(), s.total_sent_words as f64),
+        ],
+    }
+}
+
+/// Run every job of a campaign. Jobs execute on `spec.workers` threads;
+/// results keep job order regardless of completion order.
+pub fn run_campaign(spec: &CampaignSpec, out_dir: &Path) -> Result<CampaignOutcome, String> {
+    let (jobs, skipped) = spec.expand();
+    if jobs.is_empty() {
+        return Err("campaign expanded to zero jobs".into());
+    }
+    // Preprocess each distinct (matrix, leaf, maxsup) once, serially: the
+    // symbolic phase is shared work, not part of the measured wall.
+    let mut preps: HashMap<(MatrixSource, usize, usize), Arc<Prepared>> = HashMap::new();
+    for job in &jobs {
+        if let std::collections::hash_map::Entry::Vacant(e) =
+            preps.entry((job.matrix.clone(), job.leaf, job.maxsup))
+        {
+            let (matrix, geometry) = build_matrix(&job.matrix)?;
+            e.insert(Arc::new(Prepared::new(
+                matrix, geometry, job.leaf, job.maxsup,
+            )));
+        }
+    }
+    let jobs_dir = out_dir.join("jobs");
+    type JobResult = Result<(BenchPoint, String), String>;
+    let results: Mutex<Vec<Option<JobResult>>> = Mutex::new(vec![None; jobs.len()]);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..spec.workers.min(jobs.len()) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[i];
+                let prep = &preps[&(job.matrix.clone(), job.leaf, job.maxsup)];
+                let dir = jobs_dir.join(job.slug());
+                let res = run_job(job, prep).and_then(|run| {
+                    write_artifacts(&dir, job, prep, &run, spec.trace)?;
+                    let point = to_point(job, &run);
+                    let line = format!(
+                        "{:<40} wall {:>9.4}s  makespan {:>10.6}s  peak {:>8.2} MB  {:>10} words",
+                        job.slug(),
+                        run.wall_secs,
+                        run.out.makespan(),
+                        run.out.max_peak_bytes() as f64 / 1e6,
+                        point.metric("total_sent_words").unwrap_or(0.0) as u64,
+                    );
+                    Ok((point, line))
+                });
+                results.lock().expect("results lock")[i] = Some(res);
+            });
+        }
+    });
+    let mut points = Vec::new();
+    let mut lines = Vec::new();
+    let mut errors = Vec::new();
+    for slot in results.into_inner().expect("results lock") {
+        match slot.expect("every job ran") {
+            Ok((point, line)) => {
+                points.push(point);
+                lines.push(line);
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors.join("\n"));
+    }
+    Ok(CampaignOutcome {
+        snapshot: Snapshot {
+            version: 3,
+            label: spec.pr_label.clone(),
+            points,
+        },
+        skipped,
+        lines,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    #[test]
+    fn tiny_campaign_runs_and_snapshots() {
+        let spec = CampaignSpec::parse(
+            "[campaign]\nname = \"t\"\npr = \"test\"\nreps = 2\nworkers = 2\n\
+             [[point]]\nmatrix = \"k2d5pt\"\nscale = \"tiny\"\np = [4]\npz = [1, 2]\nbatched = [false, true]\n",
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("campaign-test-{}", std::process::id()));
+        let out = run_campaign(&spec, &dir).unwrap();
+        assert_eq!(out.snapshot.points.len(), 4);
+        assert!(out.skipped.is_empty());
+        // batched and per-block share the simulated metrics
+        let key = |batched| PointKey {
+            matrix: "k2d5pt".into(),
+            n: out.snapshot.points[0].key.n,
+            p: 4,
+            pz: 1,
+            batched,
+            lookahead: None,
+            faults: None,
+        };
+        let pb = out.snapshot.find(&key(false)).unwrap();
+        let ba = out.snapshot.find(&key(true)).unwrap();
+        assert_eq!(pb.metric("makespan_secs"), ba.metric("makespan_secs"));
+        assert!(pb.metric("wall_secs").unwrap() > 0.0);
+        // artifacts landed per job
+        for p in &out.snapshot.points {
+            let slug = format!(
+                "k2d5pt-p{}-pz{}-{}",
+                p.key.p,
+                p.key.pz,
+                if p.key.batched { "batched" } else { "perblock" }
+            );
+            for f in [
+                "metrics.json",
+                "memprof.json",
+                "commvol.json",
+                "hostprof.json",
+            ] {
+                assert!(dir.join("jobs").join(&slug).join(f).is_file(), "{slug}/{f}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_sources_and_bad_scales() {
+        assert!(build_matrix(&MatrixSource::Gen {
+            spec: "grid2d:4".into()
+        })
+        .is_ok());
+        assert!(build_matrix(&MatrixSource::Gen {
+            spec: "nope:4".into()
+        })
+        .is_err());
+        assert!(build_matrix(&MatrixSource::Gen {
+            spec: "grid2d".into()
+        })
+        .is_err());
+        assert!(build_matrix(&MatrixSource::Named {
+            name: "k2d5pt".into(),
+            scale: "huge".into()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! Minimal TOML subset parser for campaign specs.
+//!
+//! The workspace builds offline (no serde/toml crates), so campaign specs
+//! are parsed by hand, mirroring `obs::json`. The supported subset is
+//! exactly what `campaigns/*.toml` needs:
+//!
+//! - `[section]` tables and `[[section]]` arrays of tables;
+//! - `key = value` pairs where a value is a quoted string, a boolean,
+//!   a number, or a flat array `[v1, v2, ...]` of those;
+//! - `#` comments (full-line or trailing) and blank lines.
+//!
+//! No inline tables, no nested keys (`a.b = 1`), no multi-line strings,
+//! no datetimes. Unknown syntax is a hard error naming the line, never a
+//! silent skip — a typo in a sweep spec must not quietly shrink the
+//! campaign.
+
+/// A parsed TOML value (subset).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Arr(Vec<Value>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as usize),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a list: arrays yield their elements, scalars yield a
+    /// one-element list. Sweep fields accept both `pz = 4` and
+    /// `pz = [1, 4]`.
+    pub fn as_list(&self) -> Vec<Value> {
+        match self {
+            Value::Arr(vs) => vs.clone(),
+            other => vec![other.clone()],
+        }
+    }
+}
+
+/// One `[section]` or `[[section]]` table: ordered key/value pairs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    pub entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A parsed document: sections in file order. Repeated `[[name]]` headers
+/// produce one entry per occurrence, all under `name`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Doc {
+    pub sections: Vec<(String, Table)>,
+}
+
+impl Doc {
+    /// First section with this name (for singleton `[section]` tables).
+    pub fn section(&self, name: &str) -> Option<&Table> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    /// Every section with this name, in order (for `[[section]]` arrays).
+    pub fn sections_named(&self, name: &str) -> Vec<&Table> {
+        self.sections
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, t)| t)
+            .collect()
+    }
+}
+
+/// Parse a spec document. Errors carry the 1-based line number.
+pub fn parse(text: &str) -> Result<Doc, String> {
+    let mut doc = Doc::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = header(line, "[[", "]]") {
+            doc.sections.push((name, Table::default()));
+        } else if let Some(name) = header(line, "[", "]") {
+            doc.sections.push((name, Table::default()));
+        } else if let Some((key, val)) = line.split_once('=') {
+            let key = key.trim();
+            if key.is_empty()
+                || !key
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+            {
+                return Err(format!("line {lineno}: bad key '{key}'"));
+            }
+            let value = parse_value(val.trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+            let table = match doc.sections.last_mut() {
+                Some((_, t)) => t,
+                None => return Err(format!("line {lineno}: key before any [section]")),
+            };
+            if table.get(key).is_some() {
+                return Err(format!("line {lineno}: duplicate key '{key}'"));
+            }
+            table.entries.push((key.to_string(), value));
+        } else {
+            return Err(format!("line {lineno}: unrecognized syntax '{line}'"));
+        }
+    }
+    Ok(doc)
+}
+
+/// Drop a trailing `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// `[name]` / `[[name]]` section header, or None.
+fn header(line: &str, open: &str, close: &str) -> Option<String> {
+    let body = line.strip_prefix(open)?.strip_suffix(close)?;
+    // `[[x]]` also matches the `[`/`]` probe with body `[x]`; reject so the
+    // caller's `[[`-first ordering is not load-bearing.
+    if body.starts_with('[') || body.ends_with(']') {
+        return None;
+    }
+    let name = body.trim();
+    (!name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '-'))
+    .then(|| name.to_string())
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err("empty value".into());
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array '{s}'"))?;
+        let mut items = Vec::new();
+        for part in split_top(body)? {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let v = parse_value(part)?;
+            if matches!(v, Value::Arr(_)) {
+                return Err("nested arrays are not supported".into());
+            }
+            items.push(v);
+        }
+        return Ok(Value::Arr(items));
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string {s}"))?;
+        if body.contains('"') {
+            return Err(format!("embedded quote in string {s}"));
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    s.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("bad value '{s}' (expected string, bool, number, or array)"))
+}
+
+/// Split an array body on commas outside quotes.
+fn split_top(body: &str) -> Result<Vec<String>, String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if in_str {
+        return Err(format!("unterminated string in array '{body}'"));
+    }
+    parts.push(cur);
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_scalars() {
+        let doc = parse(
+            "# campaign spec\n\
+             [campaign]\n\
+             name = \"smoke\"  # trailing comment\n\
+             reps = 3\n\
+             gate = true\n",
+        )
+        .unwrap();
+        let c = doc.section("campaign").unwrap();
+        assert_eq!(c.get("name").unwrap().as_str(), Some("smoke"));
+        assert_eq!(c.get("reps").unwrap().as_usize(), Some(3));
+        assert_eq!(c.get("gate").unwrap().as_bool(), Some(true));
+        assert!(doc.section("missing").is_none());
+    }
+
+    #[test]
+    fn array_of_tables_keeps_every_occurrence() {
+        let doc = parse(
+            "[[point]]\nmatrix = \"k2d5pt\"\npz = [1, 4]\n\
+             [[point]]\nmatrix = \"nlpkkt\"\npz = 4\n",
+        )
+        .unwrap();
+        let pts = doc.sections_named("point");
+        assert_eq!(pts.len(), 2);
+        assert_eq!(
+            pts[0].get("pz").unwrap().as_list(),
+            vec![Value::Num(1.0), Value::Num(4.0)]
+        );
+        // scalar sweeps read as one-element lists
+        assert_eq!(pts[1].get("pz").unwrap().as_list(), vec![Value::Num(4.0)]);
+    }
+
+    #[test]
+    fn arrays_mix_strings_and_keep_commas_in_quotes() {
+        let doc = parse("[a]\nfaults = [\"\", \"drop:p=0.05,seed=2\"]\n").unwrap();
+        let v = doc.section("a").unwrap().get("faults").unwrap().as_list();
+        assert_eq!(v[0].as_str(), Some(""));
+        assert_eq!(v[1].as_str(), Some("drop:p=0.05,seed=2"));
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        assert!(parse("[a]\nx = \n").unwrap_err().starts_with("line 2"));
+        assert!(parse("x = 1\n").unwrap_err().contains("before any"));
+        assert!(parse("[a]\nwhat is this\n")
+            .unwrap_err()
+            .contains("unrecognized"));
+        assert!(parse("[a]\nx = 1\nx = 2\n")
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(parse("[a]\nx = [1, [2]]\n").unwrap_err().contains("nested"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse("[a]\ns = \"a#b\"\n").unwrap();
+        assert_eq!(
+            doc.section("a").unwrap().get("s").unwrap().as_str(),
+            Some("a#b")
+        );
+    }
+}

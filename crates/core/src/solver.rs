@@ -58,6 +58,13 @@ pub struct SolverConfig {
     /// Chrome trace export, and critical-path attribution on the output).
     /// Costs memory proportional to the operation count; off by default.
     pub tracing: bool,
+    /// Profile host wall-clock time per rank (`obs::hostprof`): RAII
+    /// scopes attribute the thread's measured wall to a fixed phase
+    /// taxonomy (panel-factor/gather/gemm/scatter/solves/comm-wait plus an
+    /// orchestration residual), summing to 100% by construction. Purely
+    /// host-side — simulated clocks, factors, and digests are untouched.
+    /// Off by default.
+    pub host_profiling: bool,
     /// Run under the communication sanitizer (`commcheck`): vector-clock
     /// race detection on wildcard receives, message-leak accounting, and a
     /// wait-for-graph deadlock detector that aborts a hung run within
@@ -97,6 +104,7 @@ impl Default for SolverConfig {
             solve_strategy: SolveStrategy::Distributed3d,
             model: TimeModel::edison_like(),
             tracing: false,
+            host_profiling: false,
             sanitize: false,
             fault_plan: None,
             retry: None,
@@ -279,6 +287,20 @@ impl Output3d {
             .sum()
     }
 
+    /// Machine-wide host-time profile document: per-rank wall-clock phase
+    /// breakdowns with derived flop-rate/bandwidth gauges and folded
+    /// stacks. `None` unless the run had
+    /// [`SolverConfig::host_profiling`] set.
+    pub fn hostprof_profile(&self) -> Option<simgrid::Json> {
+        let per_rank: Option<Vec<_>> = self.reports.iter().map(|r| r.hostprof.clone()).collect();
+        per_rank.map(|v| simgrid::hostprof_json(&v))
+    }
+
+    /// Per-rank host-time reports, when profiling was on.
+    pub fn hostprof_reports(&self) -> Option<Vec<simgrid::HostReport>> {
+        self.reports.iter().map(|r| r.hostprof.clone()).collect()
+    }
+
     /// Machine-wide wire-volume profile document: per-rank comm-ledger
     /// reports plus per-class/per-axis/per-level totals and the
     /// padding-waste ratios (always available — the ledger does not
@@ -387,6 +409,9 @@ fn try_run(
     let mut machine = Machine::new(grid3.size(), cfg.model);
     if cfg.tracing {
         machine = machine.with_tracing();
+    }
+    if cfg.host_profiling {
+        machine = machine.with_host_profiling();
     }
     if cfg.sanitize {
         machine = machine.with_sanitizer();

@@ -6,6 +6,7 @@
 //! by the message uid. Load the emitted file in <https://ui.perfetto.dev>.
 
 use crate::commvol::CommClass;
+use crate::hostprof::HostPhase;
 use crate::json::Json;
 use crate::memprof::MemClass;
 use crate::span::{ActivityKind, RankObs};
@@ -164,6 +165,42 @@ pub fn chrome_trace(obs: &[RankObs]) -> Json {
                     ("ph".into(), Json::str("C")),
                     ("name".into(), Json::str(format!("wire rank {}", r.rank))),
                     ("cat".into(), Json::str("wire")),
+                    ("ts".into(), Json::num(t * US)),
+                    ("pid".into(), Json::num(0.0)),
+                    ("tid".into(), Json::num(r.rank as f64)),
+                    ("args".into(), Json::Obj(args)),
+                ]));
+            }
+        }
+        // Host-profiler counter track: one "C" sample per distinct
+        // simulated open time, args = cumulative host self-nanoseconds per
+        // phase. Timestamps are simulated (deterministic placement); only
+        // the values carry nondeterministic host measurements.
+        if !r.host.is_empty() {
+            let live: Vec<HostPhase> = HostPhase::ALL
+                .iter()
+                .copied()
+                .filter(|&p| r.host.iter().any(|e| e.phase == p))
+                .collect();
+            let mut totals: BTreeMap<HostPhase, u64> = BTreeMap::new();
+            let mut i = 0;
+            while i < r.host.len() {
+                let t = r.host[i].t;
+                while i < r.host.len() && r.host[i].t == t {
+                    *totals.entry(r.host[i].phase).or_insert(0) += r.host[i].ns;
+                    i += 1;
+                }
+                let args = live
+                    .iter()
+                    .map(|&p| {
+                        let v = totals.get(&p).copied().unwrap_or(0);
+                        (p.as_str().to_string(), Json::num(v as f64))
+                    })
+                    .collect();
+                events.push(Json::Obj(vec![
+                    ("ph".into(), Json::str("C")),
+                    ("name".into(), Json::str(format!("host rank {}", r.rank))),
+                    ("cat".into(), Json::str("host")),
                     ("ts".into(), Json::num(t * US)),
                     ("pid".into(), Json::num(0.0)),
                     ("tid".into(), Json::num(r.rank as f64)),
@@ -470,6 +507,49 @@ mod tests {
         assert_eq!(series(counters[0], "ZReduction"), 0.0);
         assert_eq!(series(counters[1], "LPanel"), 20.0);
         assert_eq!(series(counters[1], "ZReduction"), 10.0);
+    }
+
+    #[test]
+    fn host_counter_track_is_cumulative_per_phase() {
+        use crate::hostprof::{HostEvent, HostPhase};
+        let mut obs = two_rank_obs();
+        obs[0].host = vec![
+            HostEvent {
+                t: 0.0,
+                phase: HostPhase::PanelFactor,
+                ns: 500,
+            },
+            HostEvent {
+                t: 1.0,
+                phase: HostPhase::Gemm,
+                ns: 2_000,
+            },
+            HostEvent {
+                t: 1.0,
+                phase: HostPhase::PanelFactor,
+                ns: 300,
+            },
+        ];
+        let doc = chrome_trace(&obs);
+        let stats = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(stats.counter_events, 2, "two distinct timestamps");
+        let back = Json::parse(&doc.dump()).unwrap();
+        let counters: Vec<&Json> = back
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        assert!(counters
+            .iter()
+            .all(|e| e.get("name").unwrap().as_str() == Some("host rank 0")));
+        let series = |ev: &Json, k: &str| ev.get("args").unwrap().get(k).unwrap().as_f64().unwrap();
+        assert_eq!(series(counters[0], "panel-factor"), 500.0);
+        assert_eq!(series(counters[0], "gemm"), 0.0);
+        assert_eq!(series(counters[1], "panel-factor"), 800.0);
+        assert_eq!(series(counters[1], "gemm"), 2000.0);
     }
 
     #[test]

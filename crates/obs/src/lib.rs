@@ -21,6 +21,9 @@
 //! - [`commvol`]: the wire-volume ledger — per-rank sent/received words
 //!   keyed by `(phase, class, tree level, grid axis)` and by edge, with
 //!   padding-waste accounting per class.
+//! - [`hostprof`]: the host-time profiler — scoped RAII wall-clock timers
+//!   over a fixed phase taxonomy, with self-time attribution that sums to
+//!   100% of the measured wall and folded-stack export for flamegraphs.
 //! - [`chrome`]: trace-event JSON for <https://ui.perfetto.dev>, with
 //!   send→recv flow arrows, and a structural validator.
 //! - [`critpath`]: backward walk over the send→recv dependency graph
@@ -48,6 +51,7 @@
 pub mod chrome;
 pub mod commvol;
 pub mod critpath;
+pub mod hostprof;
 pub mod json;
 pub mod memprof;
 pub mod metrics;
@@ -58,6 +62,7 @@ pub use commvol::{
     commvol_json, CommClass, CommEntry, CommEvent, CommLedger, CommReport, EdgeVolume, GridAxis,
 };
 pub use critpath::{CritSegment, CriticalPath, SegKind};
+pub use hostprof::{hostprof_json, HostEvent, HostPhase, HostProf, HostReport, HostScope};
 pub use json::Json;
 pub use memprof::{memprof_json, MemAttr, MemClass, MemEvent, MemLedger, MemReport};
 pub use metrics::{Histogram, MetricsRegistry};

@@ -151,6 +151,10 @@ pub struct RankObs {
     /// run recorded a [`crate::commvol::CommLedger`] timeline); exported
     /// as cumulative per-class counter tracks beside the memory curves.
     pub comm: Vec<crate::commvol::CommEvent>,
+    /// Host-profiler scope events sorted by simulated open time (empty
+    /// unless the run recorded a [`crate::hostprof::HostProf`] timeline);
+    /// exported as cumulative per-phase host-nanosecond counter tracks.
+    pub host: Vec<crate::hostprof::HostEvent>,
 }
 
 impl RankObs {
@@ -292,6 +296,7 @@ impl Recorder {
             activities: self.activities,
             mem: Vec::new(),
             comm: Vec::new(),
+            host: Vec::new(),
         }
     }
 }

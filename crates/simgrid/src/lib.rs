@@ -73,8 +73,9 @@ pub use trace::{render_gantt, validate_trace};
 // critical-path analysis (see the `obs` crate).
 pub use obs;
 pub use obs::{
-    commvol_json, memprof_json, ActivityKind, CommClass, CommLedger, CriticalPath, GridAxis, Json,
-    MemClass, MemLedger, MemReport, MetricsRegistry, RankObs, SpanCat, SpanId,
+    commvol_json, hostprof_json, memprof_json, ActivityKind, CommClass, CommLedger, CriticalPath,
+    GridAxis, HostPhase, HostReport, HostScope, Json, MemClass, MemLedger, MemReport,
+    MetricsRegistry, RankObs, SpanCat, SpanId,
 };
 // `obs::CommReport` (the wire-volume report on `RankReport::commvol`) is
 // deliberately not re-exported at the top level: `commcheck::CommReport`

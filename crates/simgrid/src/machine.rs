@@ -22,6 +22,7 @@ pub struct Machine {
     nranks: usize,
     model: TimeModel,
     tracing: bool,
+    host_profiling: bool,
     sanitize: bool,
     /// Seeded fault plan injected at the send path; `None` = healthy run.
     faults: Option<Arc<FaultPlan>>,
@@ -115,6 +116,15 @@ impl<T> RunResult<T> {
         obs::memprof_json(&per_rank)
     }
 
+    /// Machine-wide host-time profile: every rank's phase attribution plus
+    /// the summed phase seconds, aggregate flop rate, and folded-stack
+    /// text. `None` unless the machine ran with
+    /// [`Machine::with_host_profiling`].
+    pub fn hostprof_profile(&self) -> Option<Json> {
+        let per_rank: Option<Vec<_>> = self.reports.iter().map(|r| r.hostprof.clone()).collect();
+        per_rank.map(|v| obs::hostprof_json(&v))
+    }
+
     /// Machine-wide wire-volume profile: every rank's comm ledger report
     /// plus per-class/per-axis/per-level totals and the padding-waste
     /// ratios (always available — the ledger does not require tracing).
@@ -132,6 +142,7 @@ impl Machine {
             nranks,
             model,
             tracing: false,
+            host_profiling: false,
             sanitize: false,
             faults: None,
             retry: None,
@@ -143,6 +154,17 @@ impl Machine {
     /// proportional to the number of operations; off by default.
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Enable the host-time profiler (see `obs::hostprof`): each rank
+    /// attributes its thread's wall-clock time to a fixed phase taxonomy
+    /// via RAII scopes, summing to 100% of the measured wall. Purely
+    /// host-side — simulated clocks, results, and factor digests are
+    /// untouched. When combined with [`Machine::with_tracing`], host
+    /// counter tracks join the Chrome trace. Off by default.
+    pub fn with_host_profiling(mut self) -> Self {
+        self.host_profiling = true;
         self
     }
 
@@ -251,6 +273,7 @@ impl Machine {
         let f = Arc::new(f);
         let model = self.model;
         let tracing = self.tracing;
+        let host_profiling = self.host_profiling;
         let board = Arc::new(FailureBoard::new());
 
         // The wait-for graph always exists (it feeds the receive-timeout
@@ -306,7 +329,16 @@ impl Machine {
                     // det-lint: allow(wall-clock): host-side wall_secs profiling only
                     let started = Instant::now();
                     let mut rank = Rank::new(
-                        world_rank, n, senders, inbox, model, tracing, graph, san, fctx,
+                        world_rank,
+                        n,
+                        senders,
+                        inbox,
+                        model,
+                        tracing,
+                        host_profiling,
+                        graph,
+                        san,
+                        fctx,
                     );
                     let out =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rank)));

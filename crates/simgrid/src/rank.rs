@@ -14,8 +14,8 @@ use crate::topology::Grid3d;
 use commcheck::{SanState, SendRec, VClock, WaitGraph, WaitInfo};
 use crossbeam::channel::{Receiver, Sender};
 use obs::{
-    ActivityKind, CommClass, CommLedger, GridAxis, MemClass, MemLedger, MetricsRegistry, MsgInfo,
-    Recorder, SpanCat, SpanId,
+    ActivityKind, CommClass, CommLedger, GridAxis, HostPhase, HostProf, HostScope, MemClass,
+    MemLedger, MetricsRegistry, MsgInfo, Recorder, SpanCat, SpanId,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -105,6 +105,10 @@ pub struct Rank {
     /// `(phase, class, tree level, grid axis)` plus per-edge totals.
     /// Always on; the per-event timeline is recorded only when tracing.
     comm: CommLedger,
+    /// Host-time profiler, present when the machine runs with
+    /// [`crate::Machine::with_host_profiling`]. `None` means every
+    /// [`Rank::host_scope`] is a no-op guard — zero cost on default runs.
+    host: Option<Arc<HostProf>>,
     /// Explicit communication class for subsequent sends
     /// ([`Rank::set_comm_class`]); overrides tag-based classification, so
     /// panel broadcasts keep their class inside collective internals.
@@ -160,6 +164,7 @@ impl Rank {
         inbox: Receiver<Msg>,
         model: TimeModel,
         tracing: bool,
+        host_profiling: bool,
         wait_graph: Arc<WaitGraph>,
         san: Option<Arc<SanState>>,
         fctx: FaultCtx,
@@ -194,6 +199,7 @@ impl Rank {
             metrics: MetricsRegistry::default(),
             ledger: MemLedger::new(tracing),
             comm: CommLedger::new(tracing),
+            host: host_profiling.then(|| Arc::new(HostProf::new(tracing))),
             comm_class: None,
             grid: None,
             wait_graph,
@@ -352,6 +358,26 @@ impl Rank {
     /// Keep the maximum of `v` under gauge `name`.
     pub fn metric_gauge_max(&mut self, name: &str, v: f64) {
         self.metrics.gauge_max(name, v);
+    }
+
+    /// Open a host-time profiling scope for `phase`. Returns a no-op guard
+    /// when the machine runs without [`crate::Machine::with_host_profiling`],
+    /// so call sites never branch. The guard holds its own profiler handle —
+    /// the rank stays mutably usable while the scope is open.
+    pub fn host_scope(&self, phase: HostPhase) -> HostScope {
+        match &self.host {
+            Some(h) => h.scope(phase, None, self.clock),
+            None => HostScope::noop(),
+        }
+    }
+
+    /// Like [`Rank::host_scope`], additionally attributing the scope's
+    /// self time to supernode `sn`.
+    pub fn host_scope_sn(&self, phase: HostPhase, sn: usize) -> HostScope {
+        match &self.host {
+            Some(h) => h.scope(phase, Some(sn), self.clock),
+            None => HostScope::noop(),
+        }
     }
 
     /// Charge `bytes` of `class` to the memory ledger at the current
@@ -740,6 +766,10 @@ impl Rank {
         wildcard: bool,
         accept: impl Fn(&Msg) -> bool,
     ) -> Result<Msg, RecvError> {
+        // Host-profiler attribution: everything below — including the
+        // fast-path drain — is time spent satisfying a receive the
+        // algorithm is blocked on.
+        let _host = self.host_scope(HostPhase::CommWait);
         // Fast path: drain whatever is already queued without blocking.
         while let Ok(m) = self.inbox.try_recv() {
             let Some(m) = self.intake(m) else { continue };
@@ -1086,6 +1116,15 @@ impl Rank {
         let mut wire = self.comm;
         let comm_timeline = wire.take_timeline();
         let commvol = wire.report();
+        let host_timeline = self
+            .host
+            .as_ref()
+            .map(|h| h.take_timeline())
+            .unwrap_or_default();
+        let hostprof = self
+            .host
+            .as_ref()
+            .map(|h| h.report(wall_secs, self.flops, commvol.sent_words()));
         // Ledger-driven high-water mark; `record_memory` snapshots (if any)
         // are folded in so untagged callers still count.
         let peak_mem = self.peak_mem.max(memprof.peak_bytes);
@@ -1103,10 +1142,12 @@ impl Rank {
             metrics,
             memprof,
             commvol,
+            hostprof,
             trace: self.rec.map(|rec| {
                 let mut obs = rec.finish(clock);
                 obs.mem = mem_timeline;
                 obs.comm = comm_timeline;
+                obs.host = host_timeline;
                 obs
             }),
         }

@@ -1,6 +1,6 @@
 //! Per-rank traffic and time accounting.
 
-use obs::{CommReport, MemReport, MetricsRegistry, RankObs};
+use obs::{CommReport, HostReport, MemReport, MetricsRegistry, RankObs};
 use std::collections::BTreeMap;
 
 /// Message/word counters for one traffic phase on one rank.
@@ -53,6 +53,11 @@ pub struct RankReport {
     /// (always on). Fault-injected duplicates and retransmits are
     /// excluded — see `fault.resent_words` in [`RankReport::metrics`].
     pub commvol: CommReport,
+    /// Host-time profile: wall-clock self time per phase summing to 100%
+    /// of the thread's measured wall, with derived flop-rate/bandwidth
+    /// gauges. `None` unless the machine ran with
+    /// [`crate::Machine::with_host_profiling`].
+    pub hostprof: Option<HostReport>,
     /// Span/activity store, when tracing was enabled on the machine.
     pub trace: Option<RankObs>,
 }

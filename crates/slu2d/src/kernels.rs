@@ -5,39 +5,9 @@
 use crate::factor2d::FactorEnv;
 use crate::store::{pack_blocks, unpack_blocks, BlockStore, SchurScratch};
 use densela::{flops, getrf, trsm_left_lower_unit, trsm_right_upper, Mat, PivotPolicy};
-use simgrid::{CommClass, Payload, Rank};
+use simgrid::{CommClass, HostPhase, Payload, Rank};
 use std::collections::HashMap;
 use symbolic::Symbolic;
-
-/// Host-time attribution counters for the two Schur paths, aggregated
-/// across simulated ranks (they run as host threads, so sums approximate
-/// CPU time). Diagnostic only — read by the `schur_profile` bench example;
-/// never touches simulated clocks.
-pub mod prof {
-    use std::sync::atomic::{AtomicU64, Ordering};
-
-    pub static PANEL_NS: AtomicU64 = AtomicU64::new(0);
-    pub static PERBLOCK_NS: AtomicU64 = AtomicU64::new(0);
-    pub static GATHER_NS: AtomicU64 = AtomicU64::new(0);
-    pub static GEMM_NS: AtomicU64 = AtomicU64::new(0);
-    pub static SCATTER_NS: AtomicU64 = AtomicU64::new(0);
-
-    pub(super) fn add(counter: &AtomicU64, ns: u128) {
-        counter.fetch_add(ns as u64, Ordering::Relaxed);
-    }
-
-    /// Read and zero all counters: `(perblock, gather, gemm, scatter)`
-    /// in seconds. The panel counter is read separately via [`take_panel`].
-    pub fn take() -> (f64, f64, f64, f64) {
-        let f = |c: &AtomicU64| c.swap(0, Ordering::Relaxed) as f64 / 1e9;
-        (f(&PERBLOCK_NS), f(&GATHER_NS), f(&GEMM_NS), f(&SCATTER_NS))
-    }
-
-    /// Read and zero the panel-phase counter, in seconds.
-    pub fn take_panel() -> f64 {
-        PANEL_NS.swap(0, Ordering::Relaxed) as f64 / 1e9
-    }
-}
 
 // Message-tag kinds (shifted above the supernode id) come from the
 // workspace-wide audited registry.
@@ -75,8 +45,10 @@ pub fn factor_step_panel(
     sym: &Symbolic,
     k: usize,
 ) -> (PanelData, usize) {
-    // det-lint: allow(wall-clock): prof counters record host time, not simulated time
-    let tp = std::time::Instant::now();
+    // Host-time attribution: everything in this step is panel work except
+    // the nested collective waits, which the simulator's own CommWait
+    // scopes subtract out as self-time of their own phase.
+    let _host = rank.host_scope_sn(HostPhase::PanelFactor, k);
     let f0 = flops::get();
     let grid = env.grid;
     let (kr, kc) = (k % grid.pr, k % grid.pc);
@@ -201,7 +173,6 @@ pub fn factor_step_panel(
     }
 
     rank.advance_compute(flops::get() - f0);
-    prof::add(&prof::PANEL_NS, tp.elapsed().as_nanos());
     (PanelData { lmap, umap }, perturbations)
 }
 
@@ -217,9 +188,8 @@ pub fn factor_step_schur(
     k: usize,
     panels: &PanelData,
 ) {
+    let _host = rank.host_scope_sn(HostPhase::Gemm, k);
     let f0 = flops::get();
-    // det-lint: allow(wall-clock): prof counters record host time, not simulated time
-    let t0 = std::time::Instant::now();
     let grid = env.grid;
     let struct_k = &sym.fill.struct_of[k];
     for &j in struct_k {
@@ -242,7 +212,6 @@ pub fn factor_step_schur(
             densela::gemm(-1.0, l, u, 1.0, target);
         }
     }
-    prof::add(&prof::PERBLOCK_NS, t0.elapsed().as_nanos());
     let df = flops::get() - f0;
     rank.metric_observe("gemm.flops_per_supernode", df as f64);
     rank.advance_compute(df);
@@ -308,8 +277,7 @@ pub fn factor_step_schur_batched(
     }
 
     if m_total > 0 && n_total > 0 {
-        // det-lint: allow(wall-clock): prof counters record host time, not simulated time
-        let tg = std::time::Instant::now();
+        let gather_scope = rank.host_scope_sn(HostPhase::Gather, k);
         scratch.shape(rank, m_total, w, n_total);
         // Gather L: stack each owned block's rows at its panel offset.
         for &(i, ri, wi) in &rows {
@@ -339,8 +307,9 @@ pub fn factor_step_schur_batched(
         }
         let row_off: Vec<usize> = rows.iter().map(|&(_, ri, _)| ri).chain([m_total]).collect();
         let col_off: Vec<usize> = cols.iter().map(|&(_, cj, _)| cj).chain([n_total]).collect();
-        prof::add(&prof::GATHER_NS, tg.elapsed().as_nanos());
-        // det-lint: allow(wall-clock): host GEMM timing feeds prof and cost calibration
+        drop(gather_scope);
+        let gemm_scope = rank.host_scope_sn(HostPhase::Gemm, k);
+        // det-lint: allow(wall-clock): host GEMM timing feeds the batched flop-rate metric
         let t0 = std::time::Instant::now();
         densela::gemm_blocked_tiled(
             -1.0,
@@ -351,16 +320,15 @@ pub fn factor_step_schur_batched(
             &mut targets,
         );
         let host_secs = t0.elapsed().as_secs_f64();
-        prof::add(&prof::GEMM_NS, t0.elapsed().as_nanos());
-        // det-lint: allow(wall-clock): prof counters record host time, not simulated time
-        let ts = std::time::Instant::now();
+        drop(gemm_scope);
+        let scatter_scope = rank.host_scope_sn(HostPhase::Scatter, k);
         let mut it = targets.into_iter();
         for &(i, _, _) in &rows {
             for &(j, _, _) in &cols {
                 store.insert(i, j, it.next().unwrap());
             }
         }
-        prof::add(&prof::SCATTER_NS, ts.elapsed().as_nanos());
+        drop(scatter_scope);
         // Host-measured GEMM throughput of the batched path (flops per
         // wall-clock second). Only recorded when the batched path runs, so
         // default-config golden artifacts never carry this host-dependent

@@ -14,7 +14,7 @@
 use crate::factor2d::FactorEnv;
 use crate::store::BlockStore;
 use densela::{backward_subst, flops, forward_subst_unit};
-use simgrid::{Payload, Rank};
+use simgrid::{HostPhase, Payload, Rank};
 use std::collections::HashMap;
 use std::sync::Arc;
 use symbolic::Symbolic;
@@ -84,6 +84,7 @@ pub fn forward_nodes(
     b: &[f64],
     st: &mut DistSolveState,
 ) {
+    let _host = rank.host_scope(HostPhase::SolveFwd);
     let part = &sym.part;
     let grid = env.grid;
     for &k in nodes {
@@ -173,6 +174,7 @@ pub fn backward_nodes(
     st: &mut DistSolveState,
     x_out: &mut [f64],
 ) {
+    let _host = rank.host_scope(HostPhase::SolveBwd);
     let part = &sym.part;
     let grid = env.grid;
     for &k in nodes.iter().rev() {

@@ -26,10 +26,12 @@ struct Args {
     condest: bool,
     chol: bool,
     symmetric: bool,
+    report: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
     mem_out: Option<String>,
     commvol_out: Option<String>,
+    hostprof_out: Option<String>,
     plan_out: Option<String>,
     plan_check: bool,
     conformance: Option<String>,
@@ -61,6 +63,11 @@ fn usage() -> ! {
          \x20 --lookahead N      panel lookahead window (default 8)\n\
          \x20 --refine N         iterative-refinement sweeps (default 1)\n\
          \x20 --no-compare       skip the 2D-baseline comparison run\n\
+         \x20 --report           print the unified single-run digest: makespan\n\
+         \x20                    with critical-path attribution, peak memory by\n\
+         \x20                    class, wire volume by class and grid axis, and\n\
+         \x20                    the host-time phase breakdown (enables tracing\n\
+         \x20                    and host profiling for this run)\n\
          \x20 --condest          estimate the 1-norm condition number (sequential)\n\
          \x20 --chol             also run the Cholesky variant (needs --sym)\n\
          \x20 --sym              generate value-symmetric matrices (for --chol)\n\
@@ -75,6 +82,10 @@ fn usage() -> ! {
          \x20                    per-level/per-axis sent words, per-edge\n\
          \x20                    totals, padding-waste ratios) as JSON;\n\
          \x20                    '-' = stdout (see docs/commvol.md)\n\
+         \x20 --hostprof-out FILE write the host-time profile (per-rank wall\n\
+         \x20                    phase breakdown, flop-rate gauges, folded\n\
+         \x20                    stacks for flamegraphs) as JSON; '-' = stdout\n\
+         \x20                    (see docs/hostprof.md)\n\
          \x20 --plan-out FILE    derive the static communication plan from\n\
          \x20                    symbolic analysis alone (per-rank, per-phase\n\
          \x20                    message counts and exact word volumes, keyed\n\
@@ -132,10 +143,12 @@ fn parse_args() -> Args {
         condest: false,
         chol: false,
         symmetric: false,
+        report: false,
         trace_out: None,
         metrics_out: None,
         mem_out: None,
         commvol_out: None,
+        hostprof_out: None,
         plan_out: None,
         plan_check: false,
         conformance: None,
@@ -174,7 +187,9 @@ fn parse_args() -> Args {
             }
             "--refine" => args.refine = val("--refine").parse().unwrap_or_else(|_| usage()),
             "--no-compare" => args.compare_2d = false,
+            "--report" => args.report = true,
             "--trace-out" => args.trace_out = Some(val("--trace-out")),
+            "--hostprof-out" => args.hostprof_out = Some(val("--hostprof-out")),
             "--metrics-out" => args.metrics_out = Some(val("--metrics-out")),
             "--mem-out" => args.mem_out = Some(val("--mem-out")),
             "--commvol-out" => args.commvol_out = Some(val("--commvol-out")),
@@ -356,7 +371,8 @@ fn main() {
         pz,
         lookahead: args.lookahead,
         refine_steps: args.refine,
-        tracing: args.trace_out.is_some(),
+        tracing: args.trace_out.is_some() || args.report,
+        host_profiling: args.hostprof_out.is_some() || args.report,
         sanitize: args.sanitize,
         batched_schur: args.batched_schur,
         fault_plan: fault_plan.clone(),
@@ -447,6 +463,10 @@ fn main() {
         print!("{}", rep.render());
     }
 
+    if args.report {
+        print_report(&out);
+    }
+
     if fault_plan.is_some() {
         let m = out.metrics();
         println!("\nfault injection (seed {}):", args.fault_seed);
@@ -504,6 +524,10 @@ fn main() {
     }
     if let Some(path) = &args.commvol_out {
         emit_json(path, &out.commvol_profile(), "wire-volume report");
+    }
+    if let Some(path) = &args.hostprof_out {
+        let doc = out.hostprof_profile().expect("host profiling was enabled");
+        emit_json(path, &doc, "host-time profile");
     }
 
     if args.plan_check {
@@ -646,6 +670,77 @@ fn main() {
         emit_json(path, &rep.to_json(), "conformance report");
         if !rep.passed {
             exit(1);
+        }
+    }
+}
+
+/// The `--report` digest: every observability subsystem's headline numbers
+/// in one place — simulated critical path, ledger memory by class, wire
+/// volume by class and axis, and the host-time phase breakdown.
+fn print_report(out: &salu::lu3d::Output3d) {
+    use salu::simgrid::{CommClass, GridAxis, HostPhase, MemClass};
+    println!("\n== run digest ==");
+    println!("simulated makespan      = {:.6} s", out.makespan());
+    if let Some(cp) = out.critical_path() {
+        println!("{}", cp.render());
+    }
+    println!(
+        "peak memory             = {:.2} MB max rank / {:.2} MB all ranks; at the peak instant, by class:",
+        out.max_peak_bytes() as f64 / 1e6,
+        out.total_peak_bytes() as f64 / 1e6
+    );
+    for class in MemClass::ALL {
+        let bytes = out.peak_class_bytes(class);
+        if bytes > 0 {
+            println!("  {:<22}= {:.2} MB", class.as_str(), bytes as f64 / 1e6);
+        }
+    }
+    let total_words: u64 = CommClass::ALL.iter().map(|&c| out.class_words(c)).sum();
+    println!("wire volume             = {total_words} words, by class:");
+    for class in CommClass::ALL {
+        let words = out.class_words(class);
+        if words > 0 {
+            println!("  {:<22}= {words} words", class.as_str());
+        }
+    }
+    println!(
+        "  by axis: {}",
+        GridAxis::ALL
+            .iter()
+            .map(|&ax| format!("{} {}", ax.as_str(), out.axis_words(ax)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let Some(reports) = out.hostprof_reports() else {
+        return;
+    };
+    let wall_sum: f64 = reports.iter().map(|r| r.wall_secs).sum();
+    let wall_max = reports.iter().fold(0.0f64, |m, r| m.max(r.wall_secs));
+    let flops: u64 = reports.iter().map(|r| r.flops).sum();
+    println!(
+        "host time               = {:.4} s max rank / {:.4} s all ranks \
+         ({:.2} Mflop/s effective), by phase:",
+        wall_max,
+        wall_sum,
+        if wall_max > 0.0 {
+            flops as f64 / wall_max / 1e6
+        } else {
+            0.0
+        }
+    );
+    for phase in HostPhase::ALL {
+        let secs: f64 = reports.iter().map(|r| r.phase_secs(phase)).sum();
+        if secs > 0.0 {
+            println!(
+                "  {:<22}= {:>9.4} s  ({:4.1}%)",
+                phase.as_str(),
+                secs,
+                if wall_sum > 0.0 {
+                    100.0 * secs / wall_sum
+                } else {
+                    0.0
+                }
+            );
         }
     }
 }
