@@ -114,6 +114,9 @@ fn cmd_run(args: &[String]) -> ! {
     for line in &outcome.lines {
         println!("  {line}");
     }
+    for f in &outcome.failed {
+        eprintln!("  FAILED: {f}");
+    }
     for s in &outcome.skipped {
         println!("  skipped: {s}");
     }
@@ -122,16 +125,22 @@ fn cmd_run(args: &[String]) -> ! {
     write_file(&bench_path, &outcome.snapshot.to_json().pretty());
     write_file(
         &out_dir.join("report.md"),
-        &run_markdown(&outcome.snapshot, &outcome.skipped),
+        &run_markdown(&outcome.snapshot, &outcome.skipped, &outcome.failed),
     );
     println!(
         "snapshot written to {} ({} points)",
         bench_path.display(),
         outcome.snapshot.points.len()
     );
+    // Failed jobs fail the run, but only after the surviving points have
+    // been snapshotted, reported, and (below) compared.
+    let failed_jobs = !outcome.failed.is_empty();
+    if failed_jobs {
+        eprintln!("{} job(s) failed — see report.md", outcome.failed.len());
+    }
 
     let Some(baseline_path) = &spec.baseline else {
-        exit(0)
+        exit(if failed_jobs { 1 } else { 0 })
     };
     let baseline = Snapshot::load(baseline_path).unwrap_or_else(|e| {
         eprintln!("{e}");
@@ -156,7 +165,7 @@ fn cmd_run(args: &[String]) -> ! {
         exit(1);
     }
     println!("regression gate clean");
-    exit(0)
+    exit(if failed_jobs { 1 } else { 0 })
 }
 
 fn cmd_compare(args: &[String]) -> ! {

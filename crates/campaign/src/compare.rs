@@ -263,6 +263,7 @@ mod tests {
             batched,
             lookahead: None,
             faults: None,
+            backend: None,
         }
     }
 

@@ -5,10 +5,10 @@
 //!
 //! A campaign is a TOML spec (see `campaigns/*.toml` and docs/campaign.md)
 //! that sweeps generator/matrix × `n` × `P` × `Pz` × options
-//! (`batched`, `lookahead`, `faults`). The runner expands the sweep into
-//! jobs, factors each one best-of-N, writes per-job artifact directories
-//! (metrics / memprof / commvol / hostprof, optionally a Chrome trace),
-//! and emits:
+//! (`batched`, `lookahead`, `faults`, `backend`). The runner expands the
+//! sweep into jobs, factors each one best-of-N, writes per-job artifact
+//! directories (metrics / memprof / commvol / hostprof — the latter for
+//! threaded-backend jobs only, optionally a Chrome trace), and emits:
 //!
 //! - a `BENCH_<pr>.json` snapshot (schema `salu-bench-snapshot/3`) that
 //!   extends the `results/BENCH_*.json` trajectory, and
@@ -17,7 +17,8 @@
 //!   (improved / unchanged / regressed / incomparable).
 //!
 //! The comparator loads every historical snapshot generation (v1–v3) and
-//! matches points by `(matrix, n, p, pz, batched, lookahead, faults)`;
+//! matches points by
+//! `(matrix, n, p, pz, batched, lookahead, faults, backend)`;
 //! deterministic simulated metrics gate under a tight tolerance band,
 //! host wall-clock under a loose, by default non-gating one. The
 //! `salu-campaign` binary fronts all of this for the CLI and CI.

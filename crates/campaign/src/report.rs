@@ -3,13 +3,19 @@
 use crate::compare::{Comparison, Verdict};
 use crate::snapshot::Snapshot;
 
-/// Render the run report: one table row per point, metrics as columns.
-pub fn run_markdown(snapshot: &Snapshot, skipped: &[String]) -> String {
+/// Render the run report: one table row per point, metrics as columns,
+/// plus sections for failed jobs and skipped sweep combinations.
+pub fn run_markdown(snapshot: &Snapshot, skipped: &[String], failed: &[String]) -> String {
     let mut md = String::new();
     md.push_str(&format!(
-        "# Campaign report: {}\n\n{} points.\n\n",
+        "# Campaign report: {}\n\n{} points{}.\n\n",
         snapshot.label,
-        snapshot.points.len()
+        snapshot.points.len(),
+        if failed.is_empty() {
+            String::new()
+        } else {
+            format!(", **{} job(s) FAILED**", failed.len())
+        }
     ));
     md.push_str(
         "| point | scale | wall (s) | makespan (s) | max peak (MB) | W_fact | W_red | sent words |\n\
@@ -28,6 +34,12 @@ pub fn run_markdown(snapshot: &Snapshot, skipped: &[String]) -> String {
             m("w_red_words") as u64,
             m("total_sent_words") as u64,
         ));
+    }
+    if !failed.is_empty() {
+        md.push_str("\n## Failed jobs\n\n");
+        for f in failed {
+            md.push_str(&format!("- {f}\n"));
+        }
     }
     if !skipped.is_empty() {
         md.push_str("\n## Skipped sweep combinations\n\n");
@@ -123,6 +135,7 @@ mod tests {
                 batched,
                 lookahead: None,
                 faults: None,
+                backend: None,
             },
             scale: "tiny".into(),
             metrics: vec![
@@ -149,8 +162,12 @@ mod tests {
         assert!(md.contains("REGRESSED"));
         assert!(md.contains("**(gated)**"));
         assert!(md.contains("Baseline points not re-measured"));
-        let run = run_markdown(&new, &["m p=4 pz=3".into()]);
+        let run = run_markdown(&new, &["m p=4 pz=3".into()], &[]);
         assert!(run.contains("| m n=64 P=4 Pz=1 per-block |"));
         assert!(run.contains("Skipped sweep"));
+        assert!(!run.contains("Failed jobs"));
+        let run = run_markdown(&new, &[], &["slug: job panicked: boom".into()]);
+        assert!(run.contains("**1 job(s) FAILED**"));
+        assert!(run.contains("- slug: job panicked: boom"));
     }
 }

@@ -17,7 +17,7 @@
 use crate::snapshot::{BenchPoint, PointKey, Snapshot, DEFAULT_LOOKAHEAD};
 use crate::spec::{CampaignSpec, Job, MatrixSource};
 use lu3d::solver::{try_factor_only, Output3d, SolverConfig};
-use simgrid::{FaultPlan, RetryPolicy, TimeModel};
+use simgrid::{Backend, FaultPlan, RetryPolicy, TimeModel};
 use slu2d::driver::Prepared;
 use sparsemat::testmats::{test_matrix, Geometry, Scale};
 use sparsemat::{matgen, Csr};
@@ -34,6 +34,10 @@ pub struct CampaignOutcome {
     pub skipped: Vec<String>,
     /// One human-readable line per job, in job order.
     pub lines: Vec<String>,
+    /// Jobs that errored or panicked, as `slug: reason` lines. A failed
+    /// job never tears down the sweep — the remaining jobs still run and
+    /// snapshot; the CLI turns a non-empty list into exit 1.
+    pub failed: Vec<String>,
 }
 
 /// Build the matrix for one source. Generator seeds are pinned so the
@@ -111,7 +115,10 @@ fn job_config(job: &Job) -> Result<SolverConfig, String> {
         model: TimeModel::edison_like(),
         lookahead: job.lookahead,
         batched_schur: job.batched,
-        host_profiling: true,
+        backend: job.backend,
+        // Host-time phase attribution only makes sense when every rank
+        // really runs in parallel; event-mode runs skip hostprof.json.
+        host_profiling: job.backend == Backend::Threaded,
         retry: fault_plan.is_some().then(RetryPolicy::default),
         fault_plan,
         ..Default::default()
@@ -205,6 +212,7 @@ fn to_point(job: &Job, run: &JobRun) -> BenchPoint {
             batched: job.batched,
             lookahead: (job.lookahead as u64 != DEFAULT_LOOKAHEAD).then_some(job.lookahead as u64),
             faults: job.faults.clone(),
+            backend: (job.backend != Backend::Threaded).then(|| job.backend.to_string()),
         },
         scale: job.matrix.scale(),
         metrics: vec![
@@ -217,6 +225,21 @@ fn to_point(job: &Job, run: &JobRun) -> BenchPoint {
             ("total_sent_words".into(), s.total_sent_words as f64),
         ],
     }
+}
+
+/// Convert a panic in one job into that job's failure. A panic that
+/// unwound out of a scoped worker thread would re-raise at scope exit and
+/// tear down every sibling's in-flight work; caught here it is just a
+/// failed job like any `Err`, and the sweep keeps going.
+fn panic_firewall<T>(slug: &str, work: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)).unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".into());
+        Err(format!("{slug}: job panicked: {msg}"))
+    })
 }
 
 /// Run every job of a campaign. Jobs execute on `spec.workers` threads;
@@ -253,18 +276,20 @@ pub fn run_campaign(spec: &CampaignSpec, out_dir: &Path) -> Result<CampaignOutco
                 let job = &jobs[i];
                 let prep = &preps[&(job.matrix.clone(), job.leaf, job.maxsup)];
                 let dir = jobs_dir.join(job.slug());
-                let res = run_job(job, prep).and_then(|run| {
-                    write_artifacts(&dir, job, prep, &run, spec.trace)?;
-                    let point = to_point(job, &run);
-                    let line = format!(
-                        "{:<40} wall {:>9.4}s  makespan {:>10.6}s  peak {:>8.2} MB  {:>10} words",
-                        job.slug(),
-                        run.wall_secs,
-                        run.out.makespan(),
-                        run.out.max_peak_bytes() as f64 / 1e6,
-                        point.metric("total_sent_words").unwrap_or(0.0) as u64,
-                    );
-                    Ok((point, line))
+                let res = panic_firewall(&job.slug(), || {
+                    run_job(job, prep).and_then(|run| {
+                        write_artifacts(&dir, job, prep, &run, spec.trace)?;
+                        let point = to_point(job, &run);
+                        let line = format!(
+                            "{:<40} wall {:>9.4}s  makespan {:>10.6}s  peak {:>8.2} MB  {:>10} words",
+                            job.slug(),
+                            run.wall_secs,
+                            run.out.makespan(),
+                            run.out.max_peak_bytes() as f64 / 1e6,
+                            point.metric("total_sent_words").unwrap_or(0.0) as u64,
+                        );
+                        Ok((point, line))
+                    })
                 });
                 results.lock().expect("results lock")[i] = Some(res);
             });
@@ -272,18 +297,15 @@ pub fn run_campaign(spec: &CampaignSpec, out_dir: &Path) -> Result<CampaignOutco
     });
     let mut points = Vec::new();
     let mut lines = Vec::new();
-    let mut errors = Vec::new();
+    let mut failed = Vec::new();
     for slot in results.into_inner().expect("results lock") {
         match slot.expect("every job ran") {
             Ok((point, line)) => {
                 points.push(point);
                 lines.push(line);
             }
-            Err(e) => errors.push(e),
+            Err(e) => failed.push(e),
         }
-    }
-    if !errors.is_empty() {
-        return Err(errors.join("\n"));
     }
     Ok(CampaignOutcome {
         snapshot: Snapshot {
@@ -293,6 +315,7 @@ pub fn run_campaign(spec: &CampaignSpec, out_dir: &Path) -> Result<CampaignOutco
         },
         skipped,
         lines,
+        failed,
     })
 }
 
@@ -321,6 +344,7 @@ mod tests {
             batched,
             lookahead: None,
             faults: None,
+            backend: None,
         };
         let pb = out.snapshot.find(&key(false)).unwrap();
         let ba = out.snapshot.find(&key(true)).unwrap();
@@ -344,6 +368,72 @@ mod tests {
             }
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn event_jobs_share_sim_metrics_and_skip_hostprof() {
+        let spec = CampaignSpec::parse(
+            "[campaign]\nname = \"e\"\npr = \"test\"\n\
+             [[point]]\nmatrix = \"k2d5pt\"\nscale = \"tiny\"\np = [4]\npz = [2]\nbackend = [\"threaded\", \"event\"]\n",
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("campaign-evt-{}", std::process::id()));
+        let out = run_campaign(&spec, &dir).unwrap();
+        assert!(out.failed.is_empty(), "{:?}", out.failed);
+        assert_eq!(out.snapshot.points.len(), 2);
+        let (thr, evt) = (&out.snapshot.points[0], &out.snapshot.points[1]);
+        assert_eq!(thr.key.backend, None);
+        assert_eq!(evt.key.backend.as_deref(), Some("event"));
+        // every simulated/ledger metric is backend-independent, bitwise
+        for m in [
+            "makespan_secs",
+            "max_peak_bytes",
+            "w_fact_words",
+            "total_sent_words",
+        ] {
+            assert_eq!(thr.metric(m), evt.metric(m), "{m}");
+        }
+        let evt_dir = dir.join("jobs").join("k2d5pt-p4-pz2-perblock-event");
+        assert!(evt_dir.join("commvol.json").is_file());
+        assert!(
+            !evt_dir.join("hostprof.json").exists(),
+            "event jobs must not claim host-time attribution"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_jobs_are_recorded_without_sinking_the_sweep() {
+        // Job 1's faults spec fails to parse inside the worker pool; job 2
+        // is healthy and must still run, point, and snapshot.
+        let spec = CampaignSpec::parse(
+            "[campaign]\nname = \"f\"\npr = \"test\"\n\
+             [[point]]\nmatrix = \"k2d5pt\"\nscale = \"tiny\"\np = [4]\nfaults = [\"not-a-fault-spec\", \"\"]\n",
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("campaign-fail-{}", std::process::id()));
+        let out = run_campaign(&spec, &dir).unwrap();
+        assert_eq!(out.failed.len(), 1, "{:?}", out.failed);
+        assert!(
+            out.failed[0].contains("not-a-fault-spec"),
+            "{}",
+            out.failed[0]
+        );
+        assert_eq!(out.snapshot.points.len(), 1);
+        assert!(out.snapshot.points[0].key.faults.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panic_firewall_turns_unwinds_into_job_failures() {
+        let ok = panic_firewall("s", || Ok::<_, String>(7));
+        assert_eq!(ok, Ok(7));
+        let err = panic_firewall("slug-a", || -> Result<(), String> { panic!("boom {}", 3) });
+        assert_eq!(err, Err("slug-a: job panicked: boom 3".into()));
+        let err = panic_firewall("slug-b", || -> Result<(), String> {
+            panic!("static payload")
+        });
+        assert_eq!(err, Err("slug-b: job panicked: static payload".into()));
     }
 
     #[test]

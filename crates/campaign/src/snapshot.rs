@@ -14,9 +14,11 @@
 //!   with an explicit `batched` flag plus the swept options (`lookahead`,
 //!   `faults`) in the key.
 //!
-//! Points are keyed by `(matrix, n, p, pz, batched, lookahead, faults)`;
-//! `scale` is carried for display but not matched on (matrix + n already
-//! pin the problem).
+//! Points are keyed by
+//! `(matrix, n, p, pz, batched, lookahead, faults, backend)`; `scale` is
+//! carried for display but not matched on (matrix + n already pin the
+//! problem). Documents that predate a key column match its default
+//! (`lookahead = 8`, `backend = "threaded"`).
 
 use simgrid::Json;
 
@@ -32,12 +34,16 @@ pub struct PointKey {
     /// v3 points at the default window; matched as equal to the default.
     pub lookahead: Option<u64>,
     pub faults: Option<String>,
+    /// Execution backend (`threaded` | `event`). `None` in documents that
+    /// predate the backend column; matched as equal to `threaded`, so
+    /// every historical snapshot keeps comparing against threaded runs.
+    pub backend: Option<String>,
 }
 
 impl PointKey {
     /// Canonical form for matching: v1/v2 points carry no lookahead field,
     /// and v3 points at the default window mean the same configuration.
-    fn canon(&self) -> (String, u64, u64, u64, bool, u64, Option<String>) {
+    fn canon(&self) -> (String, u64, u64, u64, bool, u64, Option<String>, String) {
         (
             self.matrix.clone(),
             self.n,
@@ -46,6 +52,7 @@ impl PointKey {
             self.batched,
             self.lookahead.unwrap_or(DEFAULT_LOOKAHEAD),
             self.faults.clone(),
+            self.backend.clone().unwrap_or_else(|| "threaded".into()),
         )
     }
 
@@ -76,6 +83,11 @@ impl std::fmt::Display for PointKey {
         }
         if let Some(fa) = &self.faults {
             write!(f, " faults={fa}")?;
+        }
+        if let Some(b) = &self.backend {
+            if b != "threaded" {
+                write!(f, " backend={b}")?;
+            }
         }
         Ok(())
     }
@@ -195,6 +207,10 @@ impl Snapshot {
                         "lookahead".into(),
                         Json::num(p.key.lookahead.unwrap_or(DEFAULT_LOOKAHEAD) as f64),
                     ),
+                    (
+                        "backend".into(),
+                        Json::str(p.key.backend.as_deref().unwrap_or("threaded")),
+                    ),
                 ];
                 if let Some(fa) = &p.key.faults {
                     fields.push(("faults".into(), Json::str(fa)));
@@ -231,6 +247,7 @@ fn load_point(pt: &Json, version: u32, out: &mut Vec<BenchPoint>) -> Result<(), 
         batched: false,
         lookahead: None,
         faults: None,
+        backend: None,
     };
     let sim_metrics = |skip_wall: bool| -> Vec<(String, f64)> {
         METRICS
@@ -272,6 +289,7 @@ fn load_point(pt: &Json, version: u32, out: &mut Vec<BenchPoint>) -> Result<(), 
                 batched: pt.get("batched").and_then(Json::as_bool).unwrap_or(false),
                 lookahead: pt.get("lookahead").and_then(Json::as_f64).map(|v| v as u64),
                 faults: str_field("faults"),
+                backend: str_field("backend"),
                 ..base
             };
             out.push(BenchPoint {
@@ -356,6 +374,7 @@ mod tests {
                     batched: true,
                     lookahead: Some(4),
                     faults: Some("drop:p=0.05".into()),
+                    backend: Some("event".into()),
                 },
                 scale: "small".into(),
                 metrics: vec![
@@ -379,6 +398,7 @@ mod tests {
             batched: false,
             lookahead: None,
             faults: None,
+            backend: None,
         };
         let b = PointKey {
             lookahead: Some(DEFAULT_LOOKAHEAD),
@@ -394,6 +414,37 @@ mod tests {
             batched: true,
             ..a.clone()
         }));
+    }
+
+    #[test]
+    fn backend_column_defaults_to_threaded_for_old_documents() {
+        let old = PointKey {
+            matrix: "m".into(),
+            n: 10,
+            p: 4,
+            pz: 1,
+            batched: false,
+            lookahead: None,
+            faults: None,
+            backend: None,
+        };
+        // An absent column and an explicit "threaded" are the same point;
+        // an event point is new coverage, never matched against threaded.
+        assert!(old.matches(&PointKey {
+            backend: Some("threaded".into()),
+            ..old.clone()
+        }));
+        assert!(!old.matches(&PointKey {
+            backend: Some("event".into()),
+            ..old.clone()
+        }));
+        // Display keeps old keys stable and flags only non-default backends.
+        assert!(!old.to_string().contains("backend"));
+        let evt = PointKey {
+            backend: Some("event".into()),
+            ..old
+        };
+        assert!(evt.to_string().ends_with("backend=event"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::compare::Tolerance;
 use crate::toml::{self, Table, Value};
+use simgrid::Backend;
 
 /// Where a point's matrix comes from.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -53,6 +54,13 @@ pub struct PointSpec {
     /// Fault-plan specs in `FaultPlan::parse` syntax; `""` means no
     /// faults (the common case, and the default sweep).
     pub faults: Vec<String>,
+    /// Execution backends to sweep (`threaded` | `event`); defaults to
+    /// threaded only, matching every historical snapshot.
+    pub backend: Vec<Backend>,
+    /// Per-point repetition override. Paper-scale points (P = 4096) take
+    /// minutes per rep; this lets one point opt out of the campaign-wide
+    /// best-of-N without loosening the small points.
+    pub reps: Option<usize>,
 }
 
 /// One concrete run: a single cell of the sweep cross product.
@@ -67,6 +75,7 @@ pub struct Job {
     pub lookahead: usize,
     /// `None` = fault-free.
     pub faults: Option<String>,
+    pub backend: Backend,
     pub reps: usize,
 }
 
@@ -85,6 +94,9 @@ impl Job {
         }
         if self.faults.is_some() {
             s.push_str("-faults");
+        }
+        if self.backend != Backend::Threaded {
+            s.push_str(&format!("-{}", self.backend));
         }
         s
     }
@@ -179,17 +191,20 @@ impl CampaignSpec {
                     for &batched in &pt.batched {
                         for &lookahead in &pt.lookahead {
                             for faults in &pt.faults {
-                                jobs.push(Job {
-                                    matrix: pt.matrix.clone(),
-                                    leaf: pt.leaf,
-                                    maxsup: pt.maxsup,
-                                    p,
-                                    pz,
-                                    batched,
-                                    lookahead,
-                                    faults: (!faults.is_empty()).then(|| faults.clone()),
-                                    reps: self.reps,
-                                });
+                                for &backend in &pt.backend {
+                                    jobs.push(Job {
+                                        matrix: pt.matrix.clone(),
+                                        leaf: pt.leaf,
+                                        maxsup: pt.maxsup,
+                                        p,
+                                        pz,
+                                        batched,
+                                        lookahead,
+                                        faults: (!faults.is_empty()).then(|| faults.clone()),
+                                        backend,
+                                        reps: pt.reps.unwrap_or(self.reps),
+                                    });
+                                }
                             }
                         }
                     }
@@ -261,6 +276,29 @@ fn parse_point(t: &Table) -> Result<PointSpec, String> {
             vals
         }
     };
+    let backend = match t.get("backend") {
+        None => vec![Backend::Threaded],
+        Some(v) => {
+            let vals: Option<Vec<Backend>> = v
+                .as_list()
+                .iter()
+                .map(|x| x.as_str().and_then(|s| s.parse().ok()))
+                .collect();
+            let vals = vals.ok_or("backend must be a list of 'threaded' | 'event'")?;
+            if vals.is_empty() {
+                return Err("backend sweep is empty".into());
+            }
+            vals
+        }
+    };
+    let reps = match t.get("reps") {
+        None => None,
+        Some(v) => Some(
+            v.as_usize()
+                .ok_or("reps must be a non-negative integer")?
+                .max(1),
+        ),
+    };
     Ok(PointSpec {
         matrix,
         leaf: single_usize(t, "leaf", 32)?,
@@ -270,6 +308,8 @@ fn parse_point(t: &Table) -> Result<PointSpec, String> {
         batched,
         lookahead,
         faults,
+        backend,
+        reps,
     })
 }
 
@@ -401,6 +441,65 @@ pz = [2, 3]
             CampaignSpec::parse("[campaign]\nname = \"x\"\n[[point]]\nmatrix = \"a\"\n").is_err(),
             "no p sweep"
         );
+    }
+
+    #[test]
+    fn backend_sweeps_expand_and_suffix_the_slug() {
+        let spec = CampaignSpec::parse(
+            "[campaign]\nname = \"b\"\nreps = 3\n\
+             [[point]]\nmatrix = \"a\"\np = 4\nbackend = [\"threaded\", \"event\"]\nreps = 1\n",
+        )
+        .unwrap();
+        let (jobs, _) = spec.expand();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].backend, Backend::Threaded);
+        assert_eq!(jobs[1].backend, Backend::Event);
+        assert!(!jobs[0].slug().contains("event"));
+        assert!(jobs[1].slug().ends_with("-event"));
+        // the per-point override beats the campaign-wide best-of-N
+        assert_eq!((jobs[0].reps, jobs[1].reps), (1, 1));
+        // unswept points stay threaded at the campaign reps
+        let d = CampaignSpec::parse(
+            "[campaign]\nname = \"d\"\nreps = 3\n[[point]]\nmatrix = \"a\"\np = 4\n",
+        )
+        .unwrap();
+        let (jobs, _) = d.expand();
+        assert_eq!(jobs[0].backend, Backend::Threaded);
+        assert_eq!(jobs[0].reps, 3);
+        assert!(
+            CampaignSpec::parse(
+                "[campaign]\nname = \"x\"\n[[point]]\nmatrix = \"a\"\np = 4\nbackend = [\"fiber\"]\n"
+            )
+            .is_err(),
+            "unknown backend names must be rejected at parse time"
+        );
+    }
+
+    #[test]
+    fn the_committed_smoke_campaign_stays_valid() {
+        // The CI gate runs this exact file; a spec that no longer parses
+        // or silently loses its paper-scale point should fail here, not
+        // on the runner.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../campaigns/smoke.toml"
+        ))
+        .expect("campaigns/smoke.toml exists");
+        let spec = CampaignSpec::parse(&text).unwrap();
+        let (jobs, skipped) = spec.expand();
+        assert!(skipped.is_empty(), "{skipped:?}");
+        // k2d5pt sweeps both backends...
+        assert!(jobs
+            .iter()
+            .any(|j| j.matrix.label() == "k2d5pt" && j.backend == Backend::Event));
+        // ...and the paper-scale event point is present, single-rep.
+        let paper = jobs
+            .iter()
+            .find(|j| j.p == 4096)
+            .expect("smoke campaign carries the P=4096 point");
+        assert_eq!(paper.backend, Backend::Event);
+        assert_eq!(paper.reps, 1);
+        assert_eq!(paper.slug(), "grid2d64-p4096-pz1-perblock-event");
     }
 
     #[test]

@@ -203,6 +203,24 @@ impl WaitGraph {
         out
     }
 
+    /// Synchronous detection for schedulers that *know* the machine is
+    /// quiescent. The event-driven backend calls this when its ready queue
+    /// empties with live ranks still blocked: under cooperative scheduling
+    /// no message can be in flight at that point, so the candidate stuck
+    /// set needs no grace period — it *is* the verdict. Publishes the
+    /// report (blocked ranks pick it up via [`WaitGraph::deadlock_report`])
+    /// and returns it; `None` when no rank is hopelessly stuck.
+    pub fn detect_now(&self) -> Option<String> {
+        let stuck = self.candidate_stuck();
+        if stuck.is_empty() {
+            return None;
+        }
+        let report = self.format_deadlock(&stuck);
+        *self.deadlock.lock().unwrap() = Some(report.clone());
+        self.found.store(true, Ordering::SeqCst);
+        Some(report)
+    }
+
     /// Detector loop: scan for a candidate stuck set, confirm it after a
     /// grace period (same members, same blocked episodes), then publish the
     /// report for blocked ranks to abort with. Runs until `stop` is set or
@@ -321,6 +339,29 @@ mod tests {
         let rep = g.deadlock_report().expect("deadlock must be confirmed");
         assert!(rep.contains("deadlock detected"), "{rep}");
         assert!(rep.contains("ctx=7"), "{rep}");
+    }
+
+    #[test]
+    fn detect_now_publishes_without_grace() {
+        let g = WaitGraph::new(3);
+        g.block(0, wait(vec![1], 2, 5));
+        g.block(1, wait(vec![0], 2, 6));
+        // Rank 2 is running: not part of the stuck set, detection still fires.
+        let rep = g
+            .detect_now()
+            .expect("cycle must be detected synchronously");
+        assert!(rep.contains("deadlock detected: 2 rank(s)"), "{rep}");
+        assert!(rep.contains("ctx=2"), "{rep}");
+        assert_eq!(g.deadlock_report().as_deref(), Some(rep.as_str()));
+    }
+
+    #[test]
+    fn detect_now_is_none_while_progress_is_possible() {
+        let g = WaitGraph::new(2);
+        g.block(0, wait(vec![1], 0, 1));
+        // Rank 1 is running: nothing is stuck, nothing is published.
+        assert!(g.detect_now().is_none());
+        assert!(g.deadlock_report().is_none());
     }
 
     #[test]

@@ -7,8 +7,8 @@ use crate::gather::gather_factors_to_grid0;
 use crate::solve3d::solve_3d;
 use simgrid::topology::build_grid_comms;
 use simgrid::{
-    FailKind, FaultPlan, Grid3d, Machine, MachineFailure, RankReport, RetryPolicy, TimeModel,
-    TrafficSummary,
+    Backend, FailKind, FaultPlan, Grid3d, Machine, MachineFailure, RankReport, RetryPolicy,
+    TimeModel, TrafficSummary,
 };
 use slu2d::driver::Prepared;
 use slu2d::factor2d::FactorOpts;
@@ -89,6 +89,14 @@ pub struct SolverConfig {
     /// naming phase/supernode/level, replacing the wall-clock
     /// `SALU_RECV_TIMEOUT_SECS` backstop as the primary stall detector.
     pub recv_deadline: Option<f64>,
+    /// Execution backend for the simulated machine (docs/backends.md).
+    /// [`Backend::Threaded`] (the default) runs one free-running OS thread
+    /// per rank; [`Backend::Event`] runs ranks as cooperatively scheduled
+    /// tasks, making paper-scale grids (`pr*pc*pz = 4096` and beyond)
+    /// single-process-cheap. Factor digests, simulated makespans, and all
+    /// observability ledgers are bitwise identical between backends; host
+    /// profiling is threaded-only and is ignored under `Event`.
+    pub backend: Backend,
 }
 
 impl Default for SolverConfig {
@@ -109,6 +117,7 @@ impl Default for SolverConfig {
             fault_plan: None,
             retry: None,
             recv_deadline: None,
+            backend: Backend::Threaded,
         }
     }
 }
@@ -406,7 +415,7 @@ fn try_run(
 ) -> Result<Output3d, MachineFailure> {
     assert!(cfg.pz.is_power_of_two(), "Pz must be a power of two");
     let grid3 = Grid3d::new(cfg.pr, cfg.pc, cfg.pz);
-    let mut machine = Machine::new(grid3.size(), cfg.model);
+    let mut machine = Machine::new(grid3.size(), cfg.model).with_backend(cfg.backend);
     if cfg.tracing {
         machine = machine.with_tracing();
     }

@@ -9,9 +9,13 @@
 //! *simulated machine* that preserves every quantity the paper's evaluation
 //! measures:
 //!
-//! - **Ranks are OS threads** executing the same SPMD closure; point-to-point
+//! - **Ranks are tasks** executing the same SPMD closure; point-to-point
 //!   messages travel over unbounded channels (eager-mode MPI semantics:
 //!   sends never block, receives block until a matching message arrives).
+//!   Two interchangeable [`backend`]s drive them: free-running OS threads
+//!   (the default) or a cooperative discrete-event scheduler that runs
+//!   paper-scale rank counts — `P = 4096` and beyond — in one process.
+//!   Simulated results are bitwise identical either way.
 //! - **Collectives are built on point-to-point** (binomial-tree broadcast
 //!   and reduce, dissemination barrier), so message *counts* and *volumes*
 //!   match what a real MPI implementation would transfer.
@@ -45,6 +49,7 @@
 //! assert_eq!(out.results, vec![3, 0, 1, 2]);
 //! ```
 
+pub mod backend;
 pub mod coll;
 pub mod comm;
 pub mod faultlab;
@@ -57,6 +62,7 @@ pub mod timemodel;
 pub mod topology;
 pub mod trace;
 
+pub use backend::{Backend, EventBackend, ExecBackend, ThreadedBackend};
 pub use comm::Comm;
 pub use faultlab::{
     EdgeFilter, FailKind, FailureBoard, FaultAction, FaultPlan, FaultRule, LinkRule,

@@ -1,6 +1,11 @@
-//! The machine driver: spawns one thread per simulated rank, runs the SPMD
-//! closure, and collects results plus per-rank reports.
+//! The machine driver: spawns one task per simulated rank, runs the SPMD
+//! closure under the configured [`Backend`], and collects results plus
+//! per-rank reports.
 
+use crate::backend::{
+    Backend, DoneNotifier, EventBackend, EventScheduler, EventWiring, ExecBackend, SchedEvent,
+    ThreadedBackend,
+};
 use crate::faultlab::{
     FailKind, FailureBoard, FaultPlan, MachineFailure, OrderlyAbort, RankFailure, RetryPolicy,
 };
@@ -11,8 +16,28 @@ use commcheck::{CommReport, SanState, WaitGraph};
 use crossbeam::channel::{unbounded, Sender};
 use obs::{CriticalPath, Json, MetricsRegistry, RankObs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default wall-clock receive backstop when neither
+/// [`Machine::with_recv_timeout`] nor `SALU_RECV_TIMEOUT_SECS` overrides
+/// it. Generous enough for heavily oversubscribed benchmark runs, small
+/// enough that a protocol bug fails a test instead of hanging CI forever.
+const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Per-run receive backstop: the machine's explicit setting wins, then the
+/// `SALU_RECV_TIMEOUT_SECS` environment variable, then the default. Read
+/// on every run (not latched per process), so tests and multi-machine
+/// processes can vary it.
+fn resolve_recv_timeout(explicit: Option<Duration>) -> Duration {
+    explicit.unwrap_or_else(|| {
+        std::env::var("SALU_RECV_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_secs)
+            .unwrap_or(DEFAULT_RECV_TIMEOUT)
+    })
+}
 
 /// A simulated distributed-memory machine with a fixed rank count and
 /// machine model. Cheap to construct; each [`Machine::run`] spawns fresh
@@ -21,6 +46,8 @@ use std::time::Instant;
 pub struct Machine {
     nranks: usize,
     model: TimeModel,
+    /// Execution strategy (see [`Backend`]); threaded by default.
+    backend: Backend,
     tracing: bool,
     host_profiling: bool,
     sanitize: bool,
@@ -31,6 +58,10 @@ pub struct Machine {
     /// Simulated-time receive deadline (seconds); `None` = wait forever
     /// (up to the wall-clock backstop).
     recv_deadline: Option<f64>,
+    /// Wall-clock receive backstop override; `None` falls back to
+    /// `SALU_RECV_TIMEOUT_SECS`, then the 300s default. Threaded backend
+    /// only — the event backend has no blocked OS threads to unstick.
+    recv_timeout: Option<Duration>,
 }
 
 /// The outcome of one SPMD run.
@@ -141,13 +172,36 @@ impl Machine {
         Machine {
             nranks,
             model,
+            backend: Backend::default(),
             tracing: false,
             host_profiling: false,
             sanitize: false,
             faults: None,
             retry: None,
             recv_deadline: None,
+            recv_timeout: None,
         }
+    }
+
+    /// Select the execution backend (see [`Backend`] and `docs/backends.md`).
+    /// Simulated results — factor digests, makespans, every ledger — are
+    /// identical either way; only host-side scheduling differs. The
+    /// threaded default keeps real parallelism (required by the host-time
+    /// profiler); the event backend runs arbitrarily large rank counts in
+    /// one cooperative process.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Override the wall-clock receive backstop for this machine (threaded
+    /// backend only). Without this, each run reads
+    /// `SALU_RECV_TIMEOUT_SECS`, defaulting to 300s. The event backend
+    /// never blocks an OS thread on a receive, so it ignores the backstop
+    /// and detects stuckness exactly, from scheduler quiescence.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = Some(timeout);
+        self
     }
 
     /// Enable per-rank event tracing (see [`crate::trace`]). Costs memory
@@ -246,6 +300,22 @@ impl Machine {
         T: Send + 'static,
         F: Fn(&mut Rank) -> T + Send + Sync + 'static,
     {
+        match self.backend {
+            Backend::Threaded => ThreadedBackend.run(self, f),
+            Backend::Event => EventBackend.run(self, f),
+        }
+    }
+
+    /// The shared execution engine behind both [`ExecBackend`]
+    /// implementations. One task per rank either way; `mode` decides who
+    /// schedules them — the kernel (threaded) or the cooperative
+    /// [`EventScheduler`] on this thread (event).
+    pub(crate) fn execute<T, F>(&self, f: F, mode: Backend) -> Result<RunResult<T>, MachineFailure>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Rank) -> T + Send + Sync + 'static,
+    {
+        let event_mode = mode == Backend::Event;
         // An orderly rank shutdown unwinds with a typed payload that the
         // join loop interprets via the failure board; the default panic
         // hook would still print "thread panicked" plus a backtrace for
@@ -273,20 +343,26 @@ impl Machine {
         let f = Arc::new(f);
         let model = self.model;
         let tracing = self.tracing;
-        let host_profiling = self.host_profiling;
+        // The host-time profiler attributes *wall* time per phase, which
+        // only means something when ranks really run concurrently: under
+        // the event backend a parked task would book its entire descheduled
+        // life as CommWait. Threaded-only, by contract (docs/backends.md).
+        let host_profiling = self.host_profiling && !event_mode;
         let board = Arc::new(FailureBoard::new());
 
         // The wait-for graph always exists (it feeds the receive-timeout
         // backstop's dump); the sanitizer state is created only on demand.
-        // The deadlock detector runs for sanitized *and* faulted runs: an
-        // unrecovered drop must abort with a cycle report, not hang.
+        // The watchdog deadlock detector runs for sanitized *and* faulted
+        // threaded runs: an unrecovered drop must abort with a cycle
+        // report, not hang. The event backend needs no watchdog — its
+        // scheduler detects stuckness synchronously from quiescence.
         let wait_graph = Arc::new(WaitGraph::new(n));
         let san: Option<Arc<SanState>> = if self.sanitize {
             Some(Arc::new(SanState::new()))
         } else {
             None
         };
-        let _detector = (self.sanitize || self.faults.is_some()).then(|| {
+        let _detector = (!event_mode && (self.sanitize || self.faults.is_some())).then(|| {
             let graph = Arc::clone(&wait_graph);
             let stop = Arc::new(AtomicBool::new(false));
             let stop2 = Arc::clone(&stop);
@@ -300,10 +376,43 @@ impl Machine {
             }
         });
 
+        // Event-mode wiring: a shared event queue back to the scheduler,
+        // one resume channel per rank, and the send-notification list.
+        let mut event_plumbing = event_mode.then(|| {
+            let (sched_tx, sched_rx) = unbounded::<SchedEvent>();
+            let notify: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+            let mut resume_txs = Vec::with_capacity(n);
+            let mut wirings = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (tx, rx) = unbounded::<()>();
+                resume_txs.push(tx);
+                wirings.push(EventWiring {
+                    sched_tx: sched_tx.clone(),
+                    resume_rx: rx,
+                    notify: Arc::clone(&notify),
+                });
+            }
+            let sched = EventScheduler::new(
+                n,
+                sched_rx,
+                resume_txs,
+                notify,
+                Arc::clone(&wait_graph),
+                Arc::clone(&board),
+            );
+            (sched, wirings)
+        });
+        let mut wirings = event_plumbing
+            .as_mut()
+            .map(|(_, w)| std::mem::take(w))
+            .unwrap_or_default();
+        wirings.reverse(); // pop() below hands them out in rank order
+
         let fctx = FaultCtx {
             faults: self.faults.clone(),
             retry: self.retry,
             recv_deadline: self.recv_deadline,
+            recv_timeout: resolve_recv_timeout(self.recv_timeout),
             board: Arc::clone(&board),
         };
         let mut handles = Vec::with_capacity(n);
@@ -313,19 +422,34 @@ impl Machine {
             let graph = Arc::clone(&wait_graph);
             let san = san.clone();
             let fctx = fctx.clone();
+            let wiring = wirings.pop();
             let handle = std::thread::Builder::new()
                 .name(format!("simrank-{world_rank}"))
                 // Factorization recursion and big local buffers: give each
-                // simulated rank a roomy stack.
+                // simulated rank a roomy stack. Lazily committed, so 4096
+                // event-mode tasks reserve address space, not RAM.
                 .stack_size(16 << 20)
                 .spawn(move || {
-                    // Declared first so it drops last: the rank is marked
+                    // Declared first so it drops *last*: by the time the
+                    // scheduler processes this task's Done event, the
+                    // wait-for graph below already shows the rank finished.
+                    let _notify_done = wiring.as_ref().map(|w| DoneNotifier {
+                        rank: world_rank,
+                        sched_tx: w.sched_tx.clone(),
+                    });
+                    // Declared second, drops first: the rank is marked
                     // done (never sends again) even on panic.
                     let _done = DoneGuard {
                         graph: Arc::clone(&graph),
                         rank: world_rank,
                     };
                     let board = Arc::clone(&fctx.board);
+                    let evt = wiring.map(|w| w.into_ctl(world_rank));
+                    if let Some(e) = &evt {
+                        // Cooperative mode: no simulated work — not even
+                        // rank construction — before the first time slice.
+                        e.wait_first_resume();
+                    }
                     // det-lint: allow(wall-clock): host-side wall_secs profiling only
                     let started = Instant::now();
                     let mut rank = Rank::new(
@@ -339,6 +463,7 @@ impl Machine {
                         graph,
                         san,
                         fctx,
+                        evt,
                     );
                     let out =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rank)));
@@ -373,6 +498,13 @@ impl Machine {
         // The template context holds a board reference; release it so the
         // post-join `Arc::try_unwrap` sees the sole owner.
         drop(fctx);
+
+        // Event mode: drive the cooperative scheduler to completion on this
+        // thread. Every task has terminated when this returns, so the join
+        // loop below never blocks for long.
+        if let Some((mut sched, _)) = event_plumbing.take() {
+            sched.drive();
+        }
 
         let mut results = Vec::with_capacity(n);
         let mut reports = Vec::with_capacity(n);

@@ -1,6 +1,7 @@
 //! The per-rank execution context: point-to-point messaging, clocks,
 //! counters, spans, and metrics.
 
+use crate::backend::EventCtl;
 use crate::comm::Comm;
 use crate::faultlab::{
     FailKind, FailureBoard, FaultDecision, FaultPlan, OrderlyAbort, RankFailure, RecvError,
@@ -20,25 +21,6 @@ use obs::{
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// How long a blocking receive waits before declaring the run deadlocked.
-/// Generous enough for heavily oversubscribed benchmark runs, small enough
-/// that a protocol bug fails a test instead of hanging CI forever. Override
-/// with `SALU_RECV_TIMEOUT_SECS` for very large oversubscribed runs.
-///
-/// This is only the backstop: with the sanitizer enabled
-/// ([`crate::Machine::with_sanitizer`]) a deadlock is detected within
-/// ~100ms by the wait-for-graph detector and aborts with the exact cycle.
-fn recv_timeout() -> Duration {
-    static SECS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
-    let secs = *SECS.get_or_init(|| {
-        std::env::var("SALU_RECV_TIMEOUT_SECS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(300)
-    });
-    Duration::from_secs(secs)
-}
 
 /// Granularity at which a blocked receive polls for a published deadlock
 /// report (and for the timeout deadline).
@@ -137,12 +119,21 @@ pub struct Rank {
     /// simulated seconds after the receiver started waiting fails with
     /// [`RecvError::Deadline`] instead of silently absorbing the stall.
     recv_deadline: Option<f64>,
+    /// Wall-clock backstop for a blocked receive (threaded backend):
+    /// per-machine config, defaulting from `SALU_RECV_TIMEOUT_SECS` at run
+    /// time (see [`crate::Machine::with_recv_timeout`]). Unused under the
+    /// event backend, where a blocked receive parks instead of polling.
+    recv_timeout: Duration,
     /// Machine-wide failure collection (primary vs cascade attribution).
     board: Arc<FailureBoard>,
     /// This rank's stall windows from the plan, sorted by trigger time.
     my_stalls: Vec<StallRule>,
     /// Index of the next unapplied stall window.
     stall_idx: usize,
+    /// Handle onto the cooperative scheduler, present iff the machine runs
+    /// under [`crate::EventBackend`]. `None` (the threaded backend) makes
+    /// every event-mode hook vanish from the hot paths.
+    evt: Option<EventCtl>,
 }
 
 /// Fault-layer wiring shared by every rank; built once per run by the
@@ -152,6 +143,7 @@ pub(crate) struct FaultCtx {
     pub faults: Option<Arc<FaultPlan>>,
     pub retry: Option<RetryPolicy>,
     pub recv_deadline: Option<f64>,
+    pub recv_timeout: Duration,
     pub board: Arc<FailureBoard>,
 }
 
@@ -168,6 +160,7 @@ impl Rank {
         wait_graph: Arc<WaitGraph>,
         san: Option<Arc<SanState>>,
         fctx: FaultCtx,
+        evt: Option<EventCtl>,
     ) -> Self {
         let my_stalls = fctx
             .faults
@@ -208,9 +201,11 @@ impl Rank {
             faults: fctx.faults,
             retry: fctx.retry,
             recv_deadline: fctx.recv_deadline,
+            recv_timeout: fctx.recv_timeout,
             board: fctx.board,
             my_stalls,
             stall_idx: 0,
+            evt,
         }
     }
 
@@ -724,6 +719,11 @@ impl Rank {
         if self.senders[dst_world].send(msg).is_err() {
             self.fail(FailKind::PeerDown { peer: dst_world });
         }
+        // Event backend: a delivered message is a scheduler event — tell
+        // the scheduler so a destination parked in a receive wakes up.
+        if let Some(evt) = &self.evt {
+            evt.note_send(dst_world);
+        }
     }
 
     /// Buffer a message that did not match the receive in progress.
@@ -793,49 +793,48 @@ impl Rank {
                 phase: self.phase.clone(),
             },
         );
+        let result = if self.evt.is_some() {
+            self.blocked_wait_event(ctx, tag, &targets, &src_desc, &accept)
+        } else {
+            self.blocked_wait_threaded(ctx, tag, &targets, &src_desc, &accept)
+        };
+        self.wait_graph.unblock(self.world_rank);
+        result
+    }
+
+    /// Threaded-backend wait: sleep on the channel in slices, polling for a
+    /// published deadlock report, cascade resolution, and the wall-clock
+    /// backstop.
+    fn blocked_wait_threaded(
+        &mut self,
+        ctx: u64,
+        tag: u64,
+        targets: &[usize],
+        src_desc: &str,
+        accept: &impl Fn(&Msg) -> bool,
+    ) -> Result<Msg, RecvError> {
         // det-lint: allow(wall-clock): host watchdog against a hung recv, not simulated time
-        let deadline = Instant::now() + recv_timeout();
-        let result = loop {
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
             if let Some(report) = self.wait_graph.deadlock_report() {
-                break Err(RecvError::Deadlock { report });
+                return Err(RecvError::Deadlock { report });
             }
             match self.inbox.recv_timeout(BLOCK_SLICE) {
                 Ok(m) => {
                     let Some(m) = self.intake(m) else { continue };
                     if accept(&m) {
-                        break Ok(m);
+                        return Ok(m);
                     }
                     self.stash(m);
                 }
                 Err(_) => {
-                    if self.board.has_failure() && self.wait_graph.all_done(&targets) {
-                        // Every rank that could satisfy this receive has
-                        // terminated. Drain once more — a dying peer may
-                        // have pushed the match right before exiting — then
-                        // give up as a cascade of the primary failure.
-                        let mut matched = None;
-                        while let Ok(m) = self.inbox.try_recv() {
-                            let Some(m) = self.intake(m) else { continue };
-                            if matched.is_none() && accept(&m) {
-                                matched = Some(m);
-                            } else {
-                                self.stash(m);
-                            }
-                        }
-                        if let Some(m) = matched {
-                            break Ok(m);
-                        }
-                        break Err(RecvError::PeerFailed {
-                            origin: self.board.primary_rank().unwrap_or(self.world_rank),
-                            src: src_desc,
-                            ctx,
-                            tag,
-                        });
+                    if self.board.has_failure() && self.wait_graph.all_done(targets) {
+                        return self.resolve_cascade(ctx, tag, src_desc, accept);
                     }
                     // det-lint: allow(wall-clock): host watchdog check
                     if Instant::now() >= deadline {
-                        break Err(RecvError::WallTimeout {
-                            src: src_desc,
+                        return Err(RecvError::WallTimeout {
+                            src: src_desc.to_string(),
                             ctx,
                             tag,
                             dump: self.wait_graph.dump(),
@@ -843,9 +842,74 @@ impl Rank {
                     }
                 }
             }
-        };
-        self.wait_graph.unblock(self.world_rank);
-        result
+        }
+    }
+
+    /// Event-backend wait: no channel sleeping and no wall-clock deadline.
+    /// The rank parks by yielding to the cooperative scheduler and is
+    /// resumed when a message is delivered to it — or when the scheduler,
+    /// seeing the whole machine quiescent, has published a deadlock report
+    /// or wants waits on dead peers resolved as cascades.
+    fn blocked_wait_event(
+        &mut self,
+        ctx: u64,
+        tag: u64,
+        targets: &[usize],
+        src_desc: &str,
+        accept: &impl Fn(&Msg) -> bool,
+    ) -> Result<Msg, RecvError> {
+        loop {
+            if let Some(report) = self.wait_graph.deadlock_report() {
+                return Err(RecvError::Deadlock { report });
+            }
+            if self.board.has_failure() && self.wait_graph.all_done(targets) {
+                return self.resolve_cascade(ctx, tag, src_desc, accept);
+            }
+            // Park. On resume either a message is waiting in the inbox or
+            // the machine went quiescent and the checks above will fire.
+            self.evt
+                .as_ref()
+                .expect("blocked_wait_event outside event mode")
+                .yield_blocked();
+            while let Ok(m) = self.inbox.try_recv() {
+                let Some(m) = self.intake(m) else { continue };
+                if accept(&m) {
+                    return Ok(m);
+                }
+                self.stash(m);
+            }
+        }
+    }
+
+    /// Every rank that could satisfy this receive has terminated after a
+    /// failure elsewhere. Drain once more — a dying peer may have pushed
+    /// the match right before exiting — then give up as a cascade of the
+    /// primary failure.
+    fn resolve_cascade(
+        &mut self,
+        ctx: u64,
+        tag: u64,
+        src_desc: &str,
+        accept: &impl Fn(&Msg) -> bool,
+    ) -> Result<Msg, RecvError> {
+        let mut matched = None;
+        while let Ok(m) = self.inbox.try_recv() {
+            let Some(m) = self.intake(m) else { continue };
+            if matched.is_none() && accept(&m) {
+                matched = Some(m);
+            } else {
+                self.stash(m);
+            }
+        }
+        match matched {
+            Some(m) => Ok(m),
+            None => Err(RecvError::PeerFailed {
+                origin: self.board.primary_rank().unwrap_or(self.world_rank),
+                src: src_desc.to_string(),
+                ctx,
+                tag,
+            }),
+        }
     }
 
     /// Receiver-side accounting shared by [`Rank::recv`] and

@@ -37,6 +37,7 @@ struct Args {
     conformance: Option<String>,
     sanitize: bool,
     batched_schur: bool,
+    backend: Backend,
     faults: Option<String>,
     fault_seed: u64,
     no_recover: bool,
@@ -105,6 +106,13 @@ fn usage() -> ! {
          \x20                    (race/deadlock/leak detection; see docs/commcheck.md)\n\
          \x20 --batched-schur    use the batched gather-GEMM-scatter Schur path\n\
          \x20                    (bitwise-identical factors; see docs/perf.md)\n\
+         \x20 --backend B        execution backend: 'threaded' (default; one OS\n\
+         \x20                    thread per rank) or 'event' (cooperative\n\
+         \x20                    discrete-event scheduler — runs paper-scale\n\
+         \x20                    grids like 64x64x1 = 4096 ranks in one\n\
+         \x20                    process). Factor digests, makespans, and all\n\
+         \x20                    ledgers are bitwise identical either way; host\n\
+         \x20                    profiling needs 'threaded' (see docs/backends.md)\n\
          \n\
          fault injection (see docs/faultlab.md):\n\
          \x20 --faults SPEC      inject deterministic faults into the simulated\n\
@@ -154,6 +162,7 @@ fn parse_args() -> Args {
         conformance: None,
         sanitize: false,
         batched_schur: false,
+        backend: Backend::Threaded,
         faults: None,
         fault_seed: 1,
         no_recover: false,
@@ -198,6 +207,13 @@ fn parse_args() -> Args {
             "--conformance" => args.conformance = Some(val("--conformance")),
             "--sanitize" => args.sanitize = true,
             "--batched-schur" => args.batched_schur = true,
+            "--backend" => {
+                let v = val("--backend");
+                args.backend = v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
             "--faults" => args.faults = Some(val("--faults")),
             "--fault-seed" => {
                 args.fault_seed = val("--fault-seed").parse().unwrap_or_else(|_| usage())
@@ -375,11 +391,21 @@ fn main() {
         host_profiling: args.hostprof_out.is_some() || args.report,
         sanitize: args.sanitize,
         batched_schur: args.batched_schur,
+        backend: args.backend,
         fault_plan: fault_plan.clone(),
         retry: (fault_plan.is_some() && !args.no_recover).then(RetryPolicy::default),
         recv_deadline: args.recv_deadline,
         ..Default::default()
     };
+    if args.backend == Backend::Event && args.hostprof_out.is_some() {
+        // Host-time profiling needs real parallelism; the machine disables
+        // it under the event backend, so the output file would be empty.
+        eprintln!("--hostprof-out requires --backend threaded (see docs/backends.md)");
+        exit(2);
+    }
+    if args.backend == Backend::Event && args.report {
+        println!("note: --backend event skips the host-time phase breakdown (threaded-only)");
+    }
 
     // Static communication plan: derived from symbolic analysis alone,
     // before (and independent of) any numeric execution.

@@ -1,0 +1,206 @@
+//! Differential backend suite: the event backend must be observationally
+//! indistinguishable from the threaded backend on everything the
+//! simulation defines — factor digests, simulated makespans, wire-volume
+//! and memory ledgers, and the static plan-check verdict — across the
+//! generator × grid-shape × option matrix. Only host-side artifacts
+//! (wall clock, hostprof) may differ.
+//!
+//! The paper-scale case (P = 4096 in one process) is `#[ignore]`d here
+//! because debug-mode builds take minutes on it; CI runs it in release
+//! (`cargo test --release --test backends -- --ignored`) and the smoke
+//! campaign factors the same point end-to-end.
+
+use commplan::{build_plan, check_plan, compare_with_measured};
+use lu3d::solver::{try_factor_only, SolverConfig};
+use lu3d::EtreeForest;
+use salu::prelude::*;
+use salu::simgrid::Grid3d;
+use sparsemat::matgen;
+use sparsemat::Csr;
+
+struct Case {
+    label: &'static str,
+    a: Csr,
+    geometry: Geometry,
+    grid: (usize, usize, usize),
+    batched: bool,
+    lookahead: usize,
+    fault_spec: Option<&'static str>,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            label: "grid2d:16 2x2x1 (no Z replication)",
+            a: matgen::grid2d_5pt(16, 16, 0.1, 1),
+            geometry: Geometry::Grid2d { nx: 16, ny: 16 },
+            grid: (2, 2, 1),
+            batched: false,
+            lookahead: 8,
+            fault_spec: None,
+        },
+        Case {
+            label: "grid2d:16 2x2x4 lookahead=0 (deep Z, eager)",
+            a: matgen::grid2d_5pt(16, 16, 0.1, 1),
+            geometry: Geometry::Grid2d { nx: 16, ny: 16 },
+            grid: (2, 2, 4),
+            batched: false,
+            lookahead: 0,
+            fault_spec: None,
+        },
+        Case {
+            label: "grid2d:16 4x1x2 batched (tall layer)",
+            a: matgen::grid2d_5pt(16, 16, 0.1, 1),
+            geometry: Geometry::Grid2d { nx: 16, ny: 16 },
+            grid: (4, 1, 2),
+            batched: true,
+            lookahead: 8,
+            fault_spec: None,
+        },
+        Case {
+            label: "grid2d:20 2x2x2 chaos + retry",
+            a: matgen::grid2d_5pt(20, 20, 0.1, 1),
+            geometry: Geometry::Grid2d { nx: 20, ny: 20 },
+            grid: (2, 2, 2),
+            batched: false,
+            lookahead: 8,
+            fault_spec: Some("drop:p=0.05;dup:p=0.02;delay:p=0.1,secs=2e-3"),
+        },
+        Case {
+            label: "grid3d:6 2x2x2 batched",
+            a: matgen::grid3d_7pt(6, 6, 6, 0.1, 1),
+            geometry: Geometry::Grid3d {
+                nx: 6,
+                ny: 6,
+                nz: 6,
+            },
+            grid: (2, 2, 2),
+            batched: true,
+            lookahead: 8,
+            fault_spec: None,
+        },
+        Case {
+            label: "kkt:4 2x2x2 lookahead=4",
+            a: matgen::kkt_3d(4, 4, 4, 1e-2, 1),
+            geometry: Geometry::General,
+            grid: (2, 2, 2),
+            batched: false,
+            lookahead: 4,
+            fault_spec: None,
+        },
+    ]
+}
+
+fn config(case: &Case, backend: Backend) -> SolverConfig {
+    let (pr, pc, pz) = case.grid;
+    SolverConfig {
+        pr,
+        pc,
+        pz,
+        model: TimeModel::edison_like(),
+        lookahead: case.lookahead,
+        batched_schur: case.batched,
+        backend,
+        fault_plan: case
+            .fault_spec
+            .map(|s| FaultPlan::parse(s, 7).expect("fault spec parses")),
+        retry: case.fault_spec.map(|_| RetryPolicy::default()),
+        ..Default::default()
+    }
+}
+
+/// Every simulated observable of a factor-only run is backend-independent,
+/// bitwise: digest, makespan, wire ledger, memory ledger.
+#[test]
+fn every_config_is_bitwise_identical_across_backends() {
+    for case in cases() {
+        let prep = Prepared::new(case.a.clone(), case.geometry, 16, 24);
+        let threaded = try_factor_only(&prep, &config(&case, Backend::Threaded))
+            .unwrap_or_else(|e| panic!("{}: threaded run failed: {e}", case.label));
+        let event = try_factor_only(&prep, &config(&case, Backend::Event))
+            .unwrap_or_else(|e| panic!("{}: event run failed: {e}", case.label));
+
+        assert_eq!(
+            threaded.factor_digest, event.factor_digest,
+            "{}: factor digests diverge",
+            case.label
+        );
+        assert_eq!(
+            threaded.makespan().to_bits(),
+            event.makespan().to_bits(),
+            "{}: simulated makespans diverge ({} vs {})",
+            case.label,
+            threaded.makespan(),
+            event.makespan()
+        );
+        assert_eq!(
+            threaded.commvol_profile().pretty(),
+            event.commvol_profile().pretty(),
+            "{}: wire-volume reports diverge",
+            case.label
+        );
+        assert_eq!(
+            threaded.mem_profile().pretty(),
+            event.mem_profile().pretty(),
+            "{}: memory-ledger reports diverge",
+            case.label
+        );
+    }
+}
+
+/// The static communication plan verifies against the measured ledger of
+/// BOTH backends — the plan-check gate is backend-blind.
+#[test]
+fn plan_check_accepts_both_backends_ledgers() {
+    for case in cases() {
+        let (pr, pc, pz) = case.grid;
+        let prep = Prepared::new(case.a.clone(), case.geometry, 16, 24);
+        let forest = EtreeForest::build(&prep.tree, &prep.sym, pz);
+        let plan = build_plan(&prep.sym, &forest, Grid3d::new(pr, pc, pz), case.lookahead);
+        let audit = check_plan(&plan);
+        assert!(audit.ok(), "{}: {:?}", case.label, audit.findings);
+
+        let mut stats_msgs = Vec::new();
+        for backend in [Backend::Threaded, Backend::Event] {
+            let out = try_factor_only(&prep, &config(&case, backend))
+                .unwrap_or_else(|e| panic!("{}: {backend} run failed: {e}", case.label));
+            let ledgers: Vec<_> = out.reports.iter().map(|r| r.commvol.clone()).collect();
+            match compare_with_measured(&plan, &ledgers) {
+                Ok(stats) => stats_msgs.push(stats.msgs),
+                Err(mismatches) => panic!(
+                    "{}: plan != {backend} ledger:\n{}",
+                    case.label,
+                    mismatches.join("\n")
+                ),
+            }
+        }
+        assert_eq!(
+            stats_msgs[0], stats_msgs[1],
+            "{}: plan-check compared different traffic per backend",
+            case.label
+        );
+    }
+}
+
+/// Paper-scale smoke: a 64x64x1 process grid — P = 4096 ranks — factored
+/// in one process by the event backend. Threaded could not sensibly run
+/// this (4096 free-running OS threads); the scheduler just takes turns.
+#[test]
+#[ignore = "paper-scale (minutes in debug); CI runs it in release via --ignored"]
+fn event_backend_factors_p4096_in_one_process() {
+    let n = 64usize;
+    let a = matgen::grid2d_5pt(n, n, 0.1, 1);
+    let prep = Prepared::new(a, Geometry::Grid2d { nx: n, ny: n }, 16, 24);
+    let cfg = SolverConfig {
+        pr: 64,
+        pc: 64,
+        pz: 1,
+        model: TimeModel::edison_like(),
+        backend: Backend::Event,
+        ..Default::default()
+    };
+    let out = try_factor_only(&prep, &cfg).expect("paper-scale event run");
+    assert_eq!(out.reports.len(), 4096);
+    assert!(out.makespan() > 0.0);
+    assert!(out.w_fact() > 0, "no factor-phase traffic recorded");
+}

@@ -22,13 +22,14 @@ fn chaos_problem() -> (Prepared, Vec<f64>) {
     (Prepared::new(a, Geometry::Grid2d { nx, ny: nx }, 8, 8), b)
 }
 
-fn chaos_cfg(recover: bool) -> SolverConfig {
+fn chaos_cfg(recover: bool, backend: Backend) -> SolverConfig {
     SolverConfig {
         pr: 2,
         pc: 2,
         pz: 4,
         model: TimeModel::edison_like(),
         sanitize: true,
+        backend,
         fault_plan: Some(FaultPlan::parse(CHAOS_SPEC, CHAOS_SEED).expect("spec parses")),
         retry: recover.then(RetryPolicy::default),
         ..Default::default()
@@ -38,8 +39,6 @@ fn chaos_cfg(recover: bool) -> SolverConfig {
 #[test]
 fn recovered_chaos_run_is_bitwise_identical_to_fault_free() {
     let (prep, b) = chaos_problem();
-    let faulted = try_factor_and_solve(&prep, &chaos_cfg(true), Some(b.clone()))
-        .expect("recovery must carry the run through the plan");
     let clean = factor_and_solve(
         &prep,
         &SolverConfig {
@@ -49,56 +48,84 @@ fn recovered_chaos_run_is_bitwise_identical_to_fault_free() {
             model: TimeModel::edison_like(),
             ..Default::default()
         },
-        Some(b),
+        Some(b.clone()),
     );
-    // The plan really injected faults...
-    let m = faulted.metrics();
-    assert!(
-        m.counter("fault.injected.drop") > 0,
-        "plan injected no drops"
-    );
-    assert!(m.counter("fault.recovered.retransmit") > 0);
-    // ...the sanitizer saw a balanced protocol...
-    let rep = faulted.sanitizer.as_ref().expect("sanitized run reports");
-    assert!(rep.is_clean(), "{}", rep.render());
-    // ...retransmits and injected duplicates were charged to the fault
-    // ledger, never to the algorithmic wire volume: the recovered run's
-    // wire-volume report is byte-identical to the fault-free one...
-    assert!(m.counter("fault.resent_words") > 0, "no retransmit volume");
-    assert_eq!(
-        faulted.commvol_profile().pretty(),
-        clean.commvol_profile().pretty(),
-        "recovered run must report fault-free algorithmic volume"
-    );
-    // ...and the factors and solution are bit-for-bit the fault-free ones.
-    assert_eq!(
-        faulted.factor_digest, clean.factor_digest,
-        "recovery changed factor values"
-    );
-    let (xf, xc) = (faulted.x.as_ref().unwrap(), clean.x.as_ref().unwrap());
-    for (i, (a, b)) in xf.iter().zip(xc).enumerate() {
-        assert_eq!(a.to_bits(), b.to_bits(), "x[{i}] differs: {a} vs {b}");
+    // Both execution backends must carry the same plan to the same bits.
+    for backend in [Backend::Threaded, Backend::Event] {
+        let faulted = try_factor_and_solve(&prep, &chaos_cfg(true, backend), Some(b.clone()))
+            .unwrap_or_else(|e| panic!("{backend}: recovery must carry the run through: {e}"));
+        // The plan really injected faults...
+        let m = faulted.metrics();
+        assert!(
+            m.counter("fault.injected.drop") > 0,
+            "{backend}: plan injected no drops"
+        );
+        assert!(m.counter("fault.recovered.retransmit") > 0, "{backend}");
+        // ...the sanitizer saw a balanced protocol...
+        let rep = faulted.sanitizer.as_ref().expect("sanitized run reports");
+        assert!(rep.is_clean(), "{backend}: {}", rep.render());
+        // ...retransmits and injected duplicates were charged to the fault
+        // ledger, never to the algorithmic wire volume: the recovered run's
+        // wire-volume report is byte-identical to the fault-free one...
+        assert!(
+            m.counter("fault.resent_words") > 0,
+            "{backend}: no retransmit volume"
+        );
+        assert_eq!(
+            faulted.commvol_profile().pretty(),
+            clean.commvol_profile().pretty(),
+            "{backend}: recovered run must report fault-free algorithmic volume"
+        );
+        // ...and the factors and solution are bit-for-bit the fault-free
+        // ones.
+        assert_eq!(
+            faulted.factor_digest, clean.factor_digest,
+            "{backend}: recovery changed factor values"
+        );
+        let (xf, xc) = (faulted.x.as_ref().unwrap(), clean.x.as_ref().unwrap());
+        for (i, (a, b)) in xf.iter().zip(xc).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{backend}: x[{i}]: {a} vs {b}");
+        }
+        // Retransmission waits are simulated time: the faulted run is
+        // slower.
+        assert!(faulted.makespan() > clean.makespan(), "{backend}");
     }
-    // Retransmission waits are simulated time: the faulted run is slower.
-    assert!(faulted.makespan() > clean.makespan());
 }
 
 #[test]
 fn chaos_with_recovery_is_deterministic() {
-    // Same plan, same seed, run twice: identical digests, solutions, and
-    // fault counters — the injected schedule is independent of thread
-    // interleaving.
+    // Same plan, same seed, run twice per backend: identical digests,
+    // solutions, and fault counters — the injected schedule is independent
+    // of thread interleaving AND of the execution backend.
     let (prep, b) = chaos_problem();
-    let run = || try_factor_and_solve(&prep, &chaos_cfg(true), Some(b.clone())).unwrap();
-    let (o1, o2) = (run(), run());
+    let run =
+        |backend| try_factor_and_solve(&prep, &chaos_cfg(true, backend), Some(b.clone())).unwrap();
+    let (o1, o2) = (run(Backend::Threaded), run(Backend::Threaded));
+    let oe = run(Backend::Event);
     assert_eq!(o1.factor_digest, o2.factor_digest);
-    let (x1, x2) = (o1.x.as_ref().unwrap(), o2.x.as_ref().unwrap());
+    assert_eq!(o1.factor_digest, oe.factor_digest, "event digest diverged");
+    let (x1, x2, xe) = (
+        o1.x.as_ref().unwrap(),
+        o2.x.as_ref().unwrap(),
+        oe.x.as_ref().unwrap(),
+    );
     assert_eq!(x1.len(), x2.len());
-    for (a, b) in x1.iter().zip(x2) {
+    for ((a, b), c) in x1.iter().zip(x2).zip(xe) {
         assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(a.to_bits(), c.to_bits());
     }
     assert_eq!(o1.metrics().counters, o2.metrics().counters);
+    assert_eq!(
+        o1.metrics().counters,
+        oe.metrics().counters,
+        "fault counters depend on the backend"
+    );
     assert_eq!(o1.makespan(), o2.makespan());
+    assert_eq!(
+        o1.makespan(),
+        oe.makespan(),
+        "makespan depends on the backend"
+    );
 }
 
 #[test]
@@ -106,19 +133,23 @@ fn unrecovered_chaos_run_fails_structurally() {
     // The same plan without recovery: drops are lost for good. The run
     // must abort with a structured SolverError whose chain reaches a
     // commcheck verdict (deadlock on the starved edge), not hang and not
-    // return wrong numbers.
+    // return wrong numbers. The threaded backend gets there via the
+    // detector thread's grace window; the event backend by proving
+    // scheduler quiescence.
     let (prep, b) = chaos_problem();
-    let err = try_factor_and_solve(&prep, &chaos_cfg(false), Some(b))
-        .err()
-        .expect("lost messages without recovery must fail the run");
-    let text = err.to_string();
-    assert!(
-        text.contains("deadlock detected") || text.contains("terminated"),
-        "error must carry the structural diagnosis: {text}"
-    );
-    // The failure is attributed to a specific rank and phase.
-    assert!(err.rank < 16, "rank {} out of range", err.rank);
-    assert!(!err.phase.is_empty());
+    for backend in [Backend::Threaded, Backend::Event] {
+        let err = try_factor_and_solve(&prep, &chaos_cfg(false, backend), Some(b.clone()))
+            .err()
+            .expect("lost messages without recovery must fail the run");
+        let text = err.to_string();
+        assert!(
+            text.contains("deadlock detected") || text.contains("terminated"),
+            "{backend}: error must carry the structural diagnosis: {text}"
+        );
+        // The failure is attributed to a specific rank and phase.
+        assert!(err.rank < 16, "{backend}: rank {} out of range", err.rank);
+        assert!(!err.phase.is_empty(), "{backend}");
+    }
 }
 
 #[test]

@@ -8,6 +8,10 @@ use salu::prelude::*;
 use salu::simgrid::{commcheck, Json};
 
 fn run_once(sanitize: bool) -> (Vec<f64>, String, String) {
+    run_on(sanitize, Backend::Threaded)
+}
+
+fn run_on(sanitize: bool, backend: Backend) -> (Vec<f64>, String, String) {
     let nx = 12;
     let a = salu::sparsemat::matgen::grid2d_5pt(nx, nx, 0.1, 5);
     let x_true: Vec<f64> = (0..a.nrows).map(|i| ((i % 9) as f64) - 4.0).collect();
@@ -20,6 +24,7 @@ fn run_once(sanitize: bool) -> (Vec<f64>, String, String) {
         model: TimeModel::edison_like(),
         tracing: true,
         sanitize,
+        backend,
         refine_steps: 1,
         ..Default::default()
     };
@@ -55,6 +60,25 @@ fn repeated_runs_are_bitwise_identical() {
     // And the offline checker agrees, event by event.
     let (d1, d2) = (Json::parse(&t1).unwrap(), Json::parse(&t2).unwrap());
     commcheck::check_determinism(&d1, &d2).expect("schedules must be identical");
+}
+
+#[test]
+fn event_backend_reproduces_the_threaded_schedule() {
+    // Cross-backend determinism: the event scheduler's cooperative order
+    // must reproduce not just the solution but the entire simulated
+    // message schedule of free-running threads, byte for byte.
+    let (xt, tt, wt) = run_on(false, Backend::Threaded);
+    let (xe, te, we) = run_on(false, Backend::Event);
+    assert_bitwise_equal(&xt, &xe);
+    assert_eq!(tt, te, "chrome traces differ between backends");
+    assert_eq!(wt, we, "wire-volume reports differ between backends");
+    let (dt, de) = (Json::parse(&tt).unwrap(), Json::parse(&te).unwrap());
+    commcheck::check_determinism(&dt, &de).expect("schedules must be identical across backends");
+    // And the event backend is self-deterministic, sanitized or not.
+    let (xe2, te2, we2) = run_on(true, Backend::Event);
+    assert_bitwise_equal(&xe, &xe2);
+    assert_eq!(te, te2, "sanitizer changed the event schedule");
+    assert_eq!(we, we2, "sanitizer changed the event wire ledger");
 }
 
 #[test]
