@@ -136,6 +136,7 @@ mod tests {
                 lookahead: None,
                 faults: None,
                 backend: None,
+                schedule: None,
             },
             scale: "tiny".into(),
             metrics: vec![

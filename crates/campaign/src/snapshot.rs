@@ -38,12 +38,29 @@ pub struct PointKey {
     /// predate the backend column; matched as equal to `threaded`, so
     /// every historical snapshot keeps comparing against threaded runs.
     pub backend: Option<String>,
+    /// Communication schedule (`level` | `taskgraph`). `None` in documents
+    /// that predate the schedule column; matched as equal to `level`, so
+    /// every historical snapshot keeps comparing against level-order runs.
+    pub schedule: Option<String>,
 }
 
 impl PointKey {
     /// Canonical form for matching: v1/v2 points carry no lookahead field,
     /// and v3 points at the default window mean the same configuration.
-    fn canon(&self) -> (String, u64, u64, u64, bool, u64, Option<String>, String) {
+    #[allow(clippy::type_complexity)]
+    fn canon(
+        &self,
+    ) -> (
+        String,
+        u64,
+        u64,
+        u64,
+        bool,
+        u64,
+        Option<String>,
+        String,
+        String,
+    ) {
         (
             self.matrix.clone(),
             self.n,
@@ -53,6 +70,7 @@ impl PointKey {
             self.lookahead.unwrap_or(DEFAULT_LOOKAHEAD),
             self.faults.clone(),
             self.backend.clone().unwrap_or_else(|| "threaded".into()),
+            self.schedule.clone().unwrap_or_else(|| "level".into()),
         )
     }
 
@@ -87,6 +105,11 @@ impl std::fmt::Display for PointKey {
         if let Some(b) = &self.backend {
             if b != "threaded" {
                 write!(f, " backend={b}")?;
+            }
+        }
+        if let Some(s) = &self.schedule {
+            if s != "level" {
+                write!(f, " schedule={s}")?;
             }
         }
         Ok(())
@@ -211,6 +234,10 @@ impl Snapshot {
                         "backend".into(),
                         Json::str(p.key.backend.as_deref().unwrap_or("threaded")),
                     ),
+                    (
+                        "schedule".into(),
+                        Json::str(p.key.schedule.as_deref().unwrap_or("level")),
+                    ),
                 ];
                 if let Some(fa) = &p.key.faults {
                     fields.push(("faults".into(), Json::str(fa)));
@@ -248,6 +275,7 @@ fn load_point(pt: &Json, version: u32, out: &mut Vec<BenchPoint>) -> Result<(), 
         lookahead: None,
         faults: None,
         backend: None,
+        schedule: None,
     };
     let sim_metrics = |skip_wall: bool| -> Vec<(String, f64)> {
         METRICS
@@ -290,6 +318,7 @@ fn load_point(pt: &Json, version: u32, out: &mut Vec<BenchPoint>) -> Result<(), 
                 lookahead: pt.get("lookahead").and_then(Json::as_f64).map(|v| v as u64),
                 faults: str_field("faults"),
                 backend: str_field("backend"),
+                schedule: str_field("schedule"),
                 ..base
             };
             out.push(BenchPoint {
@@ -375,6 +404,7 @@ mod tests {
                     lookahead: Some(4),
                     faults: Some("drop:p=0.05".into()),
                     backend: Some("event".into()),
+                    schedule: Some("taskgraph".into()),
                 },
                 scale: "small".into(),
                 metrics: vec![
@@ -399,6 +429,7 @@ mod tests {
             lookahead: None,
             faults: None,
             backend: None,
+            schedule: None,
         };
         let b = PointKey {
             lookahead: Some(DEFAULT_LOOKAHEAD),
@@ -427,6 +458,7 @@ mod tests {
             lookahead: None,
             faults: None,
             backend: None,
+            schedule: None,
         };
         // An absent column and an explicit "threaded" are the same point;
         // an event point is new coverage, never matched against threaded.
@@ -445,6 +477,39 @@ mod tests {
             ..old
         };
         assert!(evt.to_string().ends_with("backend=event"));
+    }
+
+    #[test]
+    fn schedule_column_defaults_to_level_for_old_documents() {
+        let old = PointKey {
+            matrix: "m".into(),
+            n: 10,
+            p: 4,
+            pz: 1,
+            batched: false,
+            lookahead: None,
+            faults: None,
+            backend: None,
+            schedule: None,
+        };
+        // An absent column and an explicit "level" are the same point; a
+        // taskgraph point is new coverage, never matched against level.
+        assert!(old.matches(&PointKey {
+            schedule: Some("level".into()),
+            ..old.clone()
+        }));
+        assert!(!old.matches(&PointKey {
+            schedule: Some("taskgraph".into()),
+            ..old.clone()
+        }));
+        // Display keeps old keys stable and flags only non-default
+        // schedules.
+        assert!(!old.to_string().contains("schedule"));
+        let tg = PointKey {
+            schedule: Some("taskgraph".into()),
+            ..old
+        };
+        assert!(tg.to_string().ends_with("schedule=taskgraph"));
     }
 
     #[test]

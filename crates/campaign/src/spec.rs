@@ -10,7 +10,7 @@
 
 use crate::compare::Tolerance;
 use crate::toml::{self, Table, Value};
-use simgrid::Backend;
+use simgrid::{Backend, Schedule};
 
 /// Where a point's matrix comes from.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -57,6 +57,9 @@ pub struct PointSpec {
     /// Execution backends to sweep (`threaded` | `event`); defaults to
     /// threaded only, matching every historical snapshot.
     pub backend: Vec<Backend>,
+    /// Communication schedules to sweep (`level` | `taskgraph`); defaults
+    /// to level only, matching every historical snapshot.
+    pub schedule: Vec<Schedule>,
     /// Per-point repetition override. Paper-scale points (P = 4096) take
     /// minutes per rep; this lets one point opt out of the campaign-wide
     /// best-of-N without loosening the small points.
@@ -76,6 +79,7 @@ pub struct Job {
     /// `None` = fault-free.
     pub faults: Option<String>,
     pub backend: Backend,
+    pub schedule: Schedule,
     pub reps: usize,
 }
 
@@ -97,6 +101,9 @@ impl Job {
         }
         if self.backend != Backend::Threaded {
             s.push_str(&format!("-{}", self.backend));
+        }
+        if self.schedule != Schedule::Level {
+            s.push_str(&format!("-{}", self.schedule));
         }
         s
     }
@@ -192,18 +199,21 @@ impl CampaignSpec {
                         for &lookahead in &pt.lookahead {
                             for faults in &pt.faults {
                                 for &backend in &pt.backend {
-                                    jobs.push(Job {
-                                        matrix: pt.matrix.clone(),
-                                        leaf: pt.leaf,
-                                        maxsup: pt.maxsup,
-                                        p,
-                                        pz,
-                                        batched,
-                                        lookahead,
-                                        faults: (!faults.is_empty()).then(|| faults.clone()),
-                                        backend,
-                                        reps: pt.reps.unwrap_or(self.reps),
-                                    });
+                                    for &schedule in &pt.schedule {
+                                        jobs.push(Job {
+                                            matrix: pt.matrix.clone(),
+                                            leaf: pt.leaf,
+                                            maxsup: pt.maxsup,
+                                            p,
+                                            pz,
+                                            batched,
+                                            lookahead,
+                                            faults: (!faults.is_empty()).then(|| faults.clone()),
+                                            backend,
+                                            schedule,
+                                            reps: pt.reps.unwrap_or(self.reps),
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -291,6 +301,21 @@ fn parse_point(t: &Table) -> Result<PointSpec, String> {
             vals
         }
     };
+    let schedule = match t.get("schedule") {
+        None => vec![Schedule::Level],
+        Some(v) => {
+            let vals: Option<Vec<Schedule>> = v
+                .as_list()
+                .iter()
+                .map(|x| x.as_str().and_then(|s| s.parse().ok()))
+                .collect();
+            let vals = vals.ok_or("schedule must be a list of 'level' | 'taskgraph'")?;
+            if vals.is_empty() {
+                return Err("schedule sweep is empty".into());
+            }
+            vals
+        }
+    };
     let reps = match t.get("reps") {
         None => None,
         Some(v) => Some(
@@ -309,6 +334,7 @@ fn parse_point(t: &Table) -> Result<PointSpec, String> {
         lookahead,
         faults,
         backend,
+        schedule,
         reps,
     })
 }
@@ -416,6 +442,7 @@ pz = [2, 3]
             (1, false, 8, 32, 32)
         );
         assert!(j.faults.is_none());
+        assert_eq!(j.schedule, Schedule::Level);
         assert_eq!(j.reps, 1);
         assert_eq!(spec.pr_label, "d", "pr label defaults to the name");
     }
@@ -500,6 +527,55 @@ pz = [2, 3]
         assert_eq!(paper.backend, Backend::Event);
         assert_eq!(paper.reps, 1);
         assert_eq!(paper.slug(), "grid2d64-p4096-pz1-perblock-event");
+    }
+
+    #[test]
+    fn schedule_sweeps_expand_and_suffix_the_slug() {
+        let spec = CampaignSpec::parse(
+            "[campaign]\nname = \"s\"\n\
+             [[point]]\ngen = \"kkt:4\"\np = 8\npz = [4]\nbackend = [\"event\"]\n\
+             schedule = [\"level\", \"taskgraph\"]\n",
+        )
+        .unwrap();
+        let (jobs, _) = spec.expand();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].schedule, Schedule::Level);
+        assert_eq!(jobs[1].schedule, Schedule::TaskGraph);
+        // level stays suffix-free so historical artifact paths never move
+        assert_eq!(jobs[0].slug(), "kkt4-p8-pz4-perblock-event");
+        assert_eq!(jobs[1].slug(), "kkt4-p8-pz4-perblock-event-taskgraph");
+        assert!(
+            CampaignSpec::parse(
+                "[campaign]\nname = \"x\"\n[[point]]\nmatrix = \"a\"\np = 4\nschedule = [\"eager\"]\n"
+            )
+            .is_err(),
+            "unknown schedule names must be rejected at parse time"
+        );
+    }
+
+    #[test]
+    fn the_committed_scaling_campaign_stays_valid() {
+        // The CI schedule gate runs this exact file; it must keep pairing
+        // every point across both schedules on the event backend.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../campaigns/scaling.toml"
+        ))
+        .expect("campaigns/scaling.toml exists");
+        let spec = CampaignSpec::parse(&text).unwrap();
+        assert_eq!(spec.pr_label, "pr10");
+        let (jobs, skipped) = spec.expand();
+        assert!(skipped.is_empty(), "{skipped:?}");
+        // 4 P values x 2 Pz x 2 schedules, all event-backend
+        assert_eq!(jobs.len(), 16);
+        assert!(jobs.iter().all(|j| j.backend == Backend::Event));
+        let tg: Vec<_> = jobs
+            .iter()
+            .filter(|j| j.schedule == Schedule::TaskGraph)
+            .collect();
+        assert_eq!(tg.len(), 8, "every grid point runs under both schedules");
+        // the paper-scale replicated point is the headline pair
+        assert!(tg.iter().any(|j| j.p == 4096 && j.pz == 4));
     }
 
     #[test]

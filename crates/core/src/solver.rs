@@ -8,7 +8,7 @@ use crate::solve3d::solve_3d;
 use simgrid::topology::build_grid_comms;
 use simgrid::{
     Backend, FailKind, FaultPlan, Grid3d, Machine, MachineFailure, RankReport, RetryPolicy,
-    TimeModel, TrafficSummary,
+    Schedule, TimeModel, TrafficSummary,
 };
 use slu2d::driver::Prepared;
 use slu2d::factor2d::FactorOpts;
@@ -95,8 +95,19 @@ pub struct SolverConfig {
     /// tasks, making paper-scale grids (`pr*pc*pz = 4096` and beyond)
     /// single-process-cheap. Factor digests, simulated makespans, and all
     /// observability ledgers are bitwise identical between backends; host
-    /// profiling is threaded-only and is ignored under `Event`.
+    /// profiling is threaded-only and the machine rejects
+    /// `host_profiling = true` under `Event` with a config error.
     pub backend: Backend,
+    /// When the ancestor-reduction sends fire (docs/backends.md,
+    /// "Schedules"). [`Schedule::Level`] (the default) ships every
+    /// replicated-ancestor supernode at the level boundary, as in the
+    /// paper's Algorithm 1. [`Schedule::TaskGraph`] derives a per-rank
+    /// dependency DAG from symbolic analysis ([`crate::taskgraph`]) and
+    /// hoists each send to the completion of the supernode's last local
+    /// Schur writer. Factors, solutions, and the wire/memory ledgers are
+    /// bitwise identical between schedules on both backends; only
+    /// simulated clocks (and the makespan) may drop.
+    pub schedule: Schedule,
 }
 
 impl Default for SolverConfig {
@@ -118,6 +129,7 @@ impl Default for SolverConfig {
             retry: None,
             recv_deadline: None,
             backend: Backend::Threaded,
+            schedule: Schedule::default(),
         }
     }
 }
@@ -446,6 +458,7 @@ fn try_run(
     let forest_cl = Arc::clone(&forest);
     let cfg_refine = cfg.refine_steps;
     let strategy = cfg.solve_strategy;
+    let schedule = cfg.schedule;
 
     let out = machine.try_run(move |rank| {
         let comms = build_grid_comms(rank, &grid3);
@@ -478,7 +491,9 @@ fn try_run(
         // A structured stage failure ends this rank in an orderly way: the
         // machine's failure board attributes the run to it (not to the
         // ranks that cascade), and `try_run` surfaces it as the error.
-        let outcome = match factor_3d(rank, &grid3, &comms, &mut store, &sym, &forest_cl, opts) {
+        let outcome = match factor_3d(
+            rank, &grid3, &comms, &mut store, &sym, &forest_cl, opts, schedule,
+        ) {
             Ok(o) => o,
             Err(kind) => rank.fail(kind),
         };

@@ -1,0 +1,383 @@
+//! Task-graph schedule derivation for Algorithm 1 (docs/backends.md,
+//! "Schedules").
+//!
+//! The level-synchronous driver in [`crate::factor3d`] runs each active
+//! forest level as: 2D-factor every node of the level, then — at the level
+//! boundary — ship every replicated-ancestor supernode to the surviving
+//! z-partner in one packed message each. The boundary placement is
+//! maximally conservative: a supernode's blocks are final as soon as the
+//! *last* Schur update that touches them completes, which is usually well
+//! before the level's node list is exhausted. Every position between
+//! "final" and "boundary" is pure latency the receiving grid eats as wait
+//! time at its own boundary.
+//!
+//! This module derives, per rank and per active level, the dependency DAG
+//! that makes that slack explicit, from symbolic analysis alone:
+//!
+//! - **Panel(k)** — factor supernode `k`'s diagonal + panels (includes the
+//!   panel broadcasts along the layer's row/column communicators).
+//! - **Schur(k)** — apply supernode `k`'s Schur-complement update to every
+//!   owned trailing block.
+//! - **ReduceSend(l_a, s)** / **ReduceRecv(l_a, s)** — one packed z-line
+//!   message per replicated-ancestor supernode `s` at ancestor forest
+//!   level `l_a` (Algorithm 1's reduction ladder).
+//!
+//! Edges come from three sources, mirroring how `crates/commplan` derives
+//! its event program:
+//!
+//! - the **elimination tree**: `Schur(c) → Panel(k)` for every scheduled
+//!   child `c` of `k` (a panel is ready when its column has absorbed every
+//!   child update — the same readiness rule the lookahead window uses);
+//! - **block structure**: `Panel(k) → Schur(k)`, and
+//!   `Schur(k) → ReduceSend(l_a, s)` / `Schur(k) → ReduceRecv(l_a, s)`
+//!   exactly when `s ∈ struct(k)` — the Schur update of `k` writes blocks
+//!   of ancestor supernode `s` if and only if `s` appears in `k`'s
+//!   row/column structure (panels never write ancestor blocks);
+//! - the **communication program**: each `ReduceSend` on the retiring grid
+//!   pairs with the `ReduceRecv` of the same `(l_a, s)` on the surviving
+//!   grid, on the z-line channel with tag `T_REDUCE | s` — at most one
+//!   message per `(src, dst, ctx, tag)` channel per run, so per-channel
+//!   FIFO is preserved under *any* send reordering and the static
+//!   `commplan` ledger comparison stays exact.
+//!
+//! The executed task-graph schedule ([`simgrid::Schedule::TaskGraph`])
+//! hoists exactly the `ReduceSend` tasks to their readiness points: the
+//! send for `(l_a, s)` fires immediately after the last local Schur update
+//! with `s ∈ struct(k)` (or at level entry if no scheduled node writes
+//! `s`). Everything else — compute order, panel broadcasts, receive
+//! program order, every memory-ledger event — stays in level order. That
+//! restraint is what keeps the schedule bitwise-equivalent on every
+//! receiver-observable value:
+//!
+//! - *factor digests & solutions*: a hoisted send ships block values after
+//!   their last writer, i.e. the same bytes the boundary send would ship;
+//! - *wire ledger*: sends are charged under the same
+//!   `(phase="reduce", class=ZReduction, level, axis=Z)` key and the same
+//!   `(src, dst)` edge, and the ledger's cells are additive — order never
+//!   enters the report;
+//! - *memory ledger*: a send itself performs no ledger event, and the
+//!   sender's `AncestorReplica` credits stay at their boundary position,
+//!   so every rank's charge/credit *sequence* — hence its peak bytes and
+//!   peak attribution — is unchanged. (Receiver-side hoisting is rejected
+//!   for exactly this reason: moving a recv would move its `MsgInFlight`
+//!   spike within the prefix-sum and could change peak attribution.)
+//!
+//! Only simulated *clocks* may differ, and only downward: messages arrive
+//! no later than under level order, and `recv` completion is monotone in
+//! arrival time.
+
+use crate::forest::EtreeForest;
+use symbolic::Symbolic;
+
+/// One task in a rank-level dependency DAG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Panel factorization (+ broadcasts) of a scheduled supernode.
+    Panel(usize),
+    /// Schur-complement update of a scheduled supernode.
+    Schur(usize),
+    /// Packed z-line send of ancestor supernode `s` at forest level `l_a`.
+    ReduceSend { l_a: usize, s: usize },
+    /// Packed z-line receive + accumulate of the same.
+    ReduceRecv { l_a: usize, s: usize },
+}
+
+/// Whether this rank's grid sends or receives at the level boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceRole {
+    /// Odd pair member: ships its ancestor replicas and retires.
+    Sender,
+    /// Even pair member: receives and accumulates, then continues.
+    Receiver,
+    /// Root level (`lvl == 0`): no reduction.
+    None,
+}
+
+/// The dependency DAG of one rank's work at one active forest level,
+/// derived purely from symbolic analysis ([`Symbolic`] + [`EtreeForest`]).
+/// Identical on every rank of the layer (tasks a rank owns no blocks of
+/// simply execute as no-ops), which is what keeps the collective broadcast
+/// schedule aligned.
+#[derive(Clone, Debug)]
+pub struct LevelTaskDag {
+    pub tasks: Vec<TaskKind>,
+    /// `(from, to)` index pairs: `from` must complete before `to` starts.
+    pub edges: Vec<(usize, usize)>,
+    /// Scheduled node list of the level (ascending supernode order).
+    nodes: Vec<usize>,
+    /// For each reduce task, in boundary enumeration order
+    /// (`l_a` descending, then ascending supernode): the task's `(l_a, s)`
+    /// and its readiness position (see [`EagerSendPlan`]).
+    reduce_ready: Vec<(usize, usize, usize)>,
+}
+
+/// One hoisted z-reduction send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendTask {
+    /// Ancestor forest level.
+    pub l_a: usize,
+    /// Ancestor supernode.
+    pub s: usize,
+}
+
+/// The executable product of the DAG for a sender rank at one level:
+/// `at[p]` lists the reduce sends that become ready at position `p`, where
+/// position `0` is level entry and position `j + 1` is "the Schur update
+/// of `nodes[j]` just completed". Within a position, tasks keep the
+/// boundary enumeration order.
+#[derive(Clone, Debug, Default)]
+pub struct EagerSendPlan {
+    pub at: Vec<Vec<SendTask>>,
+}
+
+impl EagerSendPlan {
+    /// Total number of planned sends.
+    pub fn total(&self) -> usize {
+        self.at.iter().map(|v| v.len()).sum()
+    }
+
+    /// How many sends are hoisted strictly before the level boundary.
+    pub fn hoisted(&self) -> usize {
+        let boundary = self.at.len().saturating_sub(1);
+        self.at[..boundary].iter().map(|v| v.len()).sum()
+    }
+}
+
+impl LevelTaskDag {
+    /// Derive the DAG for level `lvl` on the grid at height `my_z`.
+    /// `nodes` must be the level's scheduled node list
+    /// (`forest.supernodes_of(lvl, q, ..)`, ascending).
+    pub fn build(
+        sym: &Symbolic,
+        forest: &EtreeForest,
+        nodes: &[usize],
+        lvl: usize,
+        my_z: usize,
+        role: ReduceRole,
+    ) -> Self {
+        let mut tasks = Vec::with_capacity(nodes.len() * 2);
+        let mut edges = Vec::new();
+        // Scheduled-node tasks: Panel(k) at 2*i, Schur(k) at 2*i + 1.
+        let pos_of = |i: usize| (2 * i, 2 * i + 1);
+        for (i, &k) in nodes.iter().enumerate() {
+            tasks.push(TaskKind::Panel(k));
+            tasks.push(TaskKind::Schur(k));
+            let (p, s) = pos_of(i);
+            edges.push((p, s));
+        }
+        // Etree edges: a scheduled child's Schur gates its parent's panel.
+        for (i, &k) in nodes.iter().enumerate() {
+            if let Some(parent) = sym.fill.parent[k] {
+                if let Ok(j) = nodes.binary_search(&parent) {
+                    edges.push((pos_of(i).1, pos_of(j).0));
+                }
+            }
+        }
+        // Reduce tasks, in the boundary enumeration order of
+        // `factor3d::reduce_ancestors`: ancestor levels from `lvl - 1`
+        // down to 0, supernodes ascending within each part.
+        let mut reduce_ready = Vec::new();
+        if role != ReduceRole::None {
+            let l = forest.l;
+            for l_a in (0..lvl).rev() {
+                let q_a = my_z >> (l - l_a);
+                for s in forest.supernodes_of(l_a, q_a, &sym.part) {
+                    let t = tasks.len();
+                    tasks.push(match role {
+                        ReduceRole::Sender => TaskKind::ReduceSend { l_a, s },
+                        _ => TaskKind::ReduceRecv { l_a, s },
+                    });
+                    // Block-structure edges: Schur(k) writes blocks of
+                    // ancestor supernode `s` iff `s ∈ struct(k)`. The last
+                    // such k is the task's readiness point.
+                    let mut ready_at = 0usize;
+                    for (i, &k) in nodes.iter().enumerate() {
+                        if sym.fill.struct_of[k].binary_search(&s).is_ok() {
+                            edges.push((pos_of(i).1, t));
+                            ready_at = i + 1;
+                        }
+                    }
+                    reduce_ready.push((l_a, s, ready_at));
+                }
+            }
+        }
+        LevelTaskDag {
+            tasks,
+            edges,
+            nodes: nodes.to_vec(),
+            reduce_ready,
+        }
+    }
+
+    /// The eager-send plan: each reduce task bucketed at its readiness
+    /// position. Meaningful for [`ReduceRole::Sender`] DAGs (the receiver
+    /// keeps its program order — see the module docs for why).
+    pub fn eager_send_plan(&self) -> EagerSendPlan {
+        let mut at = vec![Vec::new(); self.nodes.len() + 1];
+        for &(l_a, s, pos) in &self.reduce_ready {
+            at[pos].push(SendTask { l_a, s });
+        }
+        EagerSendPlan { at }
+    }
+
+    /// Topological-order check: every edge points from a task to one that
+    /// cannot start earlier. Panics on a cycle; used by tests and debug
+    /// assertions.
+    pub fn assert_acyclic(&self) {
+        let n = self.tasks.len();
+        let mut indeg = vec![0usize; n];
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            indeg[b] += 1;
+            out[a].push(b);
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&t| indeg[t] == 0).collect();
+        let mut seen = 0;
+        while let Some(t) = queue.pop() {
+            seen += 1;
+            for &b in &out[t] {
+                indeg[b] -= 1;
+                if indeg[b] == 0 {
+                    queue.push(b);
+                }
+            }
+        }
+        assert_eq!(seen, n, "level task DAG has a cycle");
+    }
+}
+
+/// Convenience: the sender-side eager plan for one level, or `None` when
+/// the schedule has nothing to hoist (no ancestors below `lvl`).
+pub fn eager_send_plan(
+    sym: &Symbolic,
+    forest: &EtreeForest,
+    nodes: &[usize],
+    lvl: usize,
+    my_z: usize,
+) -> EagerSendPlan {
+    LevelTaskDag::build(sym, forest, nodes, lvl, my_z, ReduceRole::Sender).eager_send_plan()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slu2d::driver::Prepared;
+    use sparsemat::matgen::grid2d_5pt;
+    use sparsemat::testmats::Geometry;
+
+    fn prep(k: usize, pz: usize) -> (Prepared, EtreeForest) {
+        let p = Prepared::new(
+            grid2d_5pt(k, k, 0.1, 1),
+            Geometry::Grid2d { nx: k, ny: k },
+            8,
+            8,
+        );
+        let forest = EtreeForest::build(&p.tree, &p.sym, pz);
+        (p, forest)
+    }
+
+    #[test]
+    fn dag_is_acyclic_and_covers_every_level_task() {
+        let (p, forest) = prep(16, 4);
+        let l = forest.l;
+        for my_z in [1usize, 2, 3] {
+            for lvl in (1..=l).rev() {
+                let step = 1 << (l - lvl);
+                if my_z % step != 0 {
+                    continue;
+                }
+                let q = my_z >> (l - lvl);
+                let nodes = forest.supernodes_of(lvl, q, &p.sym.part);
+                let k = my_z / step;
+                let role = if k % 2 == 1 {
+                    ReduceRole::Sender
+                } else {
+                    ReduceRole::Receiver
+                };
+                let dag = LevelTaskDag::build(&p.sym, &forest, &nodes, lvl, my_z, role);
+                dag.assert_acyclic();
+                let npanel = dag
+                    .tasks
+                    .iter()
+                    .filter(|t| matches!(t, TaskKind::Panel(_)))
+                    .count();
+                let nschur = dag
+                    .tasks
+                    .iter()
+                    .filter(|t| matches!(t, TaskKind::Schur(_)))
+                    .count();
+                assert_eq!(npanel, nodes.len());
+                assert_eq!(nschur, nodes.len());
+                // One reduce task per ancestor supernode of every level
+                // below lvl.
+                let expected: usize = (0..lvl)
+                    .map(|l_a| {
+                        forest
+                            .supernodes_of(l_a, my_z >> (l - l_a), &p.sym.part)
+                            .len()
+                    })
+                    .sum();
+                assert_eq!(dag.tasks.len(), 2 * nodes.len() + expected);
+            }
+        }
+    }
+
+    #[test]
+    fn send_positions_are_the_last_writer_plus_one() {
+        let (p, forest) = prep(16, 2);
+        let l = forest.l;
+        // z = 1 is the sender at the (single) pairing level lvl = l.
+        let lvl = l;
+        let my_z = 1usize;
+        let nodes = forest.supernodes_of(lvl, my_z, &p.sym.part);
+        let plan = eager_send_plan(&p.sym, &forest, &nodes, lvl, my_z);
+        assert_eq!(plan.at.len(), nodes.len() + 1);
+        assert!(plan.total() > 0, "deep levels must have ancestors to ship");
+        for (pos, bucket) in plan.at.iter().enumerate() {
+            for t in bucket {
+                // No scheduled node at or after `pos` writes s; the node
+                // just before `pos` (if any) does.
+                for (i, &k) in nodes.iter().enumerate() {
+                    let writes = p.sym.fill.struct_of[k].binary_search(&t.s).is_ok();
+                    if i >= pos {
+                        assert!(!writes, "writer after readiness position");
+                    }
+                    if pos > 0 && i == pos - 1 {
+                        assert!(writes, "readiness position is not a writer");
+                    }
+                }
+            }
+        }
+        // The plan covers exactly the boundary enumeration.
+        let expected: usize = (0..lvl)
+            .map(|l_a| {
+                forest
+                    .supernodes_of(l_a, my_z >> (l - l_a), &p.sym.part)
+                    .len()
+            })
+            .sum();
+        assert_eq!(plan.total(), expected);
+    }
+
+    #[test]
+    fn some_sends_hoist_ahead_of_the_boundary() {
+        // The whole point: on a real nested-dissection structure, not
+        // every ancestor supernode is written by the level's last node.
+        let (p, forest) = prep(24, 4);
+        let l = forest.l;
+        let mut hoisted = 0usize;
+        let mut total = 0usize;
+        for my_z in [1usize, 3] {
+            let lvl = l; // deepest pairing level: every odd z sends
+            let nodes = forest.supernodes_of(lvl, my_z, &p.sym.part);
+            let plan = eager_send_plan(&p.sym, &forest, &nodes, lvl, my_z);
+            hoisted += plan.hoisted();
+            total += plan.total();
+        }
+        assert!(total > 0);
+        assert!(
+            hoisted > 0,
+            "no send hoisted on any sender — the task graph would be a no-op"
+        );
+    }
+}

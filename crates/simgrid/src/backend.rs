@@ -79,6 +79,63 @@ impl std::str::FromStr for Backend {
     }
 }
 
+/// Which rank-local task order the solver's factorization executes
+/// (docs/backends.md, "Schedules"). Orthogonal to [`Backend`]: the backend
+/// decides who drives the rank tasks, the schedule decides what order each
+/// rank's own program performs its communication tasks in.
+///
+/// Both schedules produce bitwise-identical factor digests, solutions, and
+/// wire/memory ledgers; `TaskGraph` only moves *sends* earlier (to the
+/// point their task-graph dependencies are satisfied), so simulated
+/// makespan can shrink but no receiver-observable value changes. The
+/// differential suite in `tests/schedules.rs` pins exactly that.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// Bulk-synchronous level order: every communication task runs at the
+    /// program point Algorithm 1's level loop reaches it (z-reduction
+    /// sends fire at the level boundary, after the whole 2D factorization
+    /// of the level).
+    #[default]
+    Level,
+    /// Task-graph order: a per-rank dependency DAG derived from symbolic
+    /// analysis marks each z-reduction send ready as soon as its last
+    /// producing Schur update completes, and the send fires there —
+    /// overlapping reduction traffic with the remaining 2D factorization
+    /// instead of idling the receiving grid at the level barrier.
+    TaskGraph,
+}
+
+impl Schedule {
+    /// Canonical lowercase name, as used by the CLI, campaign specs, and
+    /// snapshot files.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Schedule::Level => "level",
+            Schedule::TaskGraph => "taskgraph",
+        }
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "level" => Ok(Schedule::Level),
+            "taskgraph" => Ok(Schedule::TaskGraph),
+            other => Err(format!(
+                "unknown schedule '{other}' (expected 'level' or 'taskgraph')"
+            )),
+        }
+    }
+}
+
 /// An execution strategy for [`Machine`] runs. See the module docs for the
 /// two implementations and their contract: identical simulated results,
 /// different host-side scheduling.
@@ -224,10 +281,35 @@ enum TaskState {
 /// The cooperative scheduler: drives rank tasks one at a time until all
 /// terminate. Runs on the caller's thread between spawn and join.
 ///
-/// Scheduling order is deterministic — FIFO ready queue seeded `0..n`,
-/// wakeups appended in send order — but *any* order would do: every
-/// simulated quantity the machine reports is schedule-independent (that is
-/// the determinism contract the threaded backend's tests already pin).
+/// # Ready-queue ordering (deterministic, by construction)
+///
+/// The ready queue is strict FIFO, seeded `0..n` at start. Wakeups are
+/// appended in *send order*: the one running rank pushes each delivered
+/// destination onto `notify` as it sends, and [`EventScheduler::step`]
+/// drains that list in order after the slice, enqueueing only
+/// destinations that are currently [`TaskState::Blocked`]. A rank is
+/// never queued twice (enqueueing flips it to `Ready`), and a running or
+/// ready rank is never re-queued by a wakeup. Since exactly one task runs
+/// at a time, the whole interleaving is a deterministic function of the
+/// rank programs — *no* simulated quantity depends on it, but determinism
+/// here also makes host-side behavior (iteration counts, trace file
+/// layout) reproducible run-to-run.
+///
+/// # Spurious wakeups cannot livelock
+///
+/// A wakeup is *spurious* when the notified rank's blocking receive drains
+/// its inbox and still has no matching message (e.g. the send carried a
+/// different tag; the receive stashes it and re-parks). Each such
+/// wake–recheck–park cycle consumes one ready-queue entry that only a
+/// *delivered send* (or the quiescence resolver) can replenish: a blocked
+/// rank is re-queued only from `notify`, never by itself. So the number of
+/// spurious wakeups a rank can ever experience is bounded by the total
+/// number of messages addressed to it — a rank blocked on a tag nobody
+/// sends re-parks at most once per incoming message and then stays parked
+/// until the machine goes quiescent, where [`Self::resolve_quiescence`]
+/// either proves a deadlock or resolves cascades. There is no path that
+/// re-queues a blocked rank without new information, hence no spin-wake
+/// loop (regression-tested in `tests/event_backend.rs`).
 pub(crate) struct EventScheduler {
     state: Vec<TaskState>,
     ready: VecDeque<usize>,
@@ -361,5 +443,14 @@ mod tests {
         }
         assert!("mpi".parse::<Backend>().is_err());
         assert_eq!(Backend::default(), Backend::Threaded);
+    }
+
+    #[test]
+    fn schedule_round_trips_through_its_name() {
+        for s in [Schedule::Level, Schedule::TaskGraph] {
+            assert_eq!(s.as_str().parse::<Schedule>().unwrap(), s);
+        }
+        assert!("async".parse::<Schedule>().is_err());
+        assert_eq!(Schedule::default(), Schedule::Level);
     }
 }

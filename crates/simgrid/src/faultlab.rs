@@ -434,6 +434,15 @@ pub enum FailKind {
         level: Option<usize>,
         detail: String,
     },
+    /// A wildcard receive matched a message whose sender is not a member
+    /// of the receiving communicator: communicator-context aliasing, i.e.
+    /// some rank broke [`crate::Rank::subset`]'s collective, same-order
+    /// contract. Carries the message provenance (the failing rank's phase
+    /// rides on the [`RankFailure`] record).
+    NonMemberMatch { src: usize, ctx: u64, tag: u64 },
+    /// An invalid machine configuration rejected before any rank ran
+    /// (e.g. host profiling requested under the event backend).
+    Config { detail: String },
     /// An uncategorized panic unwound out of the SPMD closure.
     Panic { message: String },
 }
@@ -482,6 +491,14 @@ impl fmt::Display for FailKind {
                 }
                 write!(f, ": {detail}")
             }
+            FailKind::NonMemberMatch { src, ctx, tag } => write!(
+                f,
+                "wildcard recv matched a message from world rank {src}, which is \
+                 not a member of the receiving communicator (ctx={ctx}, tag={tag}): \
+                 communicator contexts are aliased — `subset` must be called \
+                 collectively, in the same order, with the same members on every rank"
+            ),
+            FailKind::Config { detail } => write!(f, "configuration error: {detail}"),
             FailKind::Panic { message } => write!(f, "{message}"),
         }
     }

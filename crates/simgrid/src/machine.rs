@@ -217,6 +217,11 @@ impl Machine {
     /// host-side — simulated clocks, results, and factor digests are
     /// untouched. When combined with [`Machine::with_tracing`], host
     /// counter tracks join the Chrome trace. Off by default.
+    ///
+    /// Threaded backend only: wall attribution is meaningless when the
+    /// event scheduler multiplexes every rank onto one thread, so a run
+    /// configured with both fails fast with a structured
+    /// [`FailKind::Config`] error instead of silently dropping the data.
     pub fn with_host_profiling(mut self) -> Self {
         self.host_profiling = true;
         self
@@ -316,6 +321,29 @@ impl Machine {
         F: Fn(&mut Rank) -> T + Send + Sync + 'static,
     {
         let event_mode = mode == Backend::Event;
+        // Host profiling attributes *wall* time per rank thread, which only
+        // means something when ranks really run concurrently: under the
+        // event backend a parked task would book its entire descheduled
+        // life as CommWait. This combination used to be dropped silently
+        // (`salu --backend event --hostprof-out` succeeded with no data);
+        // now it is rejected up front as a structured config failure.
+        if self.host_profiling && event_mode {
+            return Err(MachineFailure {
+                failures: vec![RankFailure {
+                    rank: 0,
+                    phase: "config".to_string(),
+                    kind: FailKind::Config {
+                        detail: "host profiling requires the threaded backend: the \
+                                 event scheduler multiplexes every rank onto one \
+                                 thread, so per-rank wall-clock attribution would be \
+                                 meaningless (docs/backends.md). Run with \
+                                 Backend::Threaded or drop with_host_profiling()"
+                            .to_string(),
+                    },
+                    seq: 0,
+                }],
+            });
+        }
         // An orderly rank shutdown unwinds with a typed payload that the
         // join loop interprets via the failure board; the default panic
         // hook would still print "thread panicked" plus a backtrace for
@@ -343,11 +371,9 @@ impl Machine {
         let f = Arc::new(f);
         let model = self.model;
         let tracing = self.tracing;
-        // The host-time profiler attributes *wall* time per phase, which
-        // only means something when ranks really run concurrently: under
-        // the event backend a parked task would book its entire descheduled
-        // life as CommWait. Threaded-only, by contract (docs/backends.md).
-        let host_profiling = self.host_profiling && !event_mode;
+        // Threaded-only by contract (docs/backends.md); the event-mode
+        // combination was rejected above.
+        let host_profiling = self.host_profiling;
         let board = Arc::new(FailureBoard::new());
 
         // The wait-for graph always exists (it feeds the receive-timeout

@@ -1138,9 +1138,19 @@ impl Rank {
         if let Some(san) = &self.san {
             san.check_wildcard_match(self.world_rank, ctx, tag, msg.uid, &self.phase);
         }
-        let src_local = comm
-            .local_rank_of_world(msg.src_world)
-            .expect("recv_any matched a message from a non-member");
+        // A match from outside the communicator means another rank created
+        // a different communicator under the same context id (a broken
+        // collective `subset` call). Fail the rank in an orderly way with
+        // the full message provenance — the phase rides on the failure
+        // record — instead of the historical bare panic.
+        let src_local = match comm.local_rank_of_world(msg.src_world) {
+            Some(l) => l,
+            None => self.fail(FailKind::NonMemberMatch {
+                src: msg.src_world,
+                ctx,
+                tag,
+            }),
+        };
         let payload = match self.complete_recv(msg) {
             Ok(p) => p,
             Err(e) => self.fail_recv(e),

@@ -141,3 +141,120 @@ fn sanitizer_rides_along_without_a_detector_thread() {
         .iter()
         .any(|f| matches!(f, commcheck::Finding::Race { .. })));
 }
+
+#[test]
+fn host_profiling_under_event_backend_fails_fast_with_config_error() {
+    // PR-10 satellite: this combination used to be dropped silently — the
+    // run succeeded and the hostprof report was simply absent. It must now
+    // be rejected before any rank runs, with a structured config failure.
+    let err = machine(2, Backend::Event)
+        .with_host_profiling()
+        .try_run(|_rank| ())
+        .expect_err("host profiling + event backend must be rejected");
+    let primary = err.primary();
+    assert_eq!(primary.phase, "config");
+    assert!(
+        matches!(&primary.kind, FailKind::Config { detail }
+            if detail.contains("threaded backend")),
+        "unexpected failure kind: {}",
+        primary.kind
+    );
+    // The same machine without host profiling runs fine.
+    machine(2, Backend::Event).run(|_rank| ());
+    // And the threaded combination still profiles.
+    let out = machine(2, Backend::Threaded)
+        .with_host_profiling()
+        .run(|_rank| ());
+    assert!(out.hostprof_profile().is_some());
+}
+
+#[test]
+fn recv_any_from_a_non_member_is_an_orderly_failure() {
+    // Communicator-context aliasing: ranks 0 and 1 build {0,1}, while rank
+    // 2 (breaking `subset`'s collective contract) builds {1,2} under the
+    // same context id and sends to rank 1. Rank 1's wildcard receive
+    // matches on (ctx, tag) and lands on a message from a non-member —
+    // which used to die via `.expect(...)` and must now surface as a
+    // structured `FailKind::NonMemberMatch` with full provenance. The
+    // event backend makes the interleaving deterministic: rank 1 parks
+    // before rank 2 sends.
+    let err = machine(3, Backend::Event)
+        .try_run(|rank| {
+            match rank.id() {
+                0 => {
+                    let _ = rank.subset(&[0, 1]);
+                }
+                1 => {
+                    let comm = rank.subset(&[0, 1]).expect("member");
+                    rank.set_phase("steal");
+                    let _ = rank.recv_any(&comm, 7);
+                }
+                _ => {
+                    let comm = rank.subset(&[1, 2]).expect("member");
+                    rank.send(&comm, 0, 7, Payload::Idx(vec![42]));
+                }
+            };
+        })
+        .expect_err("non-member match must fail the run");
+    let primary = err.primary();
+    assert_eq!(primary.rank, 1);
+    assert_eq!(primary.phase, "steal", "phase provenance must be recorded");
+    match &primary.kind {
+        FailKind::NonMemberMatch { src, ctx, tag } => {
+            assert_eq!(*src, 2);
+            assert_eq!(*ctx, 1);
+            assert_eq!(*tag, 7);
+        }
+        other => panic!("expected NonMemberMatch, got: {other}"),
+    }
+    let text = err.render();
+    assert!(text.contains("not a member"), "{text}");
+}
+
+#[test]
+fn spurious_wakeups_are_bounded_by_delivered_messages() {
+    // Rank 1 blocks on tag 99 while rank 0 bombards it with 64 messages on
+    // other tags — every delivery wakes rank 1, which drains, stashes, and
+    // re-parks (the spurious-wakeup path). A blocked rank is only ever
+    // re-queued by a delivered send, so the wake count is bounded and the
+    // run terminates; a spin-wake bug here would hang this test.
+    let out = machine(2, Backend::Event).run(|rank| {
+        let world = rank.world();
+        if rank.id() == 0 {
+            for i in 0..64u64 {
+                rank.send(&world, 1, i, Payload::Idx(vec![i as usize]));
+            }
+            rank.send(&world, 1, 99, Payload::Idx(vec![7]));
+            0
+        } else {
+            // The matching tag arrives last; each earlier delivery is a
+            // spurious wakeup for this receive.
+            let got = rank.recv(&world, 0, 99).into_idx()[0];
+            // The stashed messages are all still there, in order.
+            for i in 0..64u64 {
+                assert_eq!(rank.recv(&world, 0, i).into_idx()[0], i as usize);
+            }
+            got
+        }
+    });
+    assert_eq!(out.results[1], 7);
+}
+
+#[test]
+fn rank_blocked_on_a_never_sent_tag_terminates_with_a_deadlock_report() {
+    // Nobody ever sends tag 1234: once rank 0 finishes, the machine is
+    // quiescent with rank 1 parked. The scheduler must prove the deadlock
+    // and abort the wait — not leave rank 1 spin-waking indefinitely.
+    let err = machine(2, Backend::Event)
+        .try_run(|rank| {
+            let world = rank.world();
+            if rank.id() == 1 {
+                let _ = rank.recv(&world, 0, 1234);
+            }
+        })
+        .expect_err("a wait nobody satisfies must fail the run");
+    let primary = err.primary();
+    assert_eq!(primary.rank, 1);
+    let text = err.render();
+    assert!(text.contains("tag=1234"), "{text}");
+}

@@ -38,6 +38,7 @@ struct Args {
     sanitize: bool,
     batched_schur: bool,
     backend: Backend,
+    schedule: Schedule,
     faults: Option<String>,
     fault_seed: u64,
     no_recover: bool,
@@ -113,6 +114,13 @@ fn usage() -> ! {
          \x20                    process). Factor digests, makespans, and all\n\
          \x20                    ledgers are bitwise identical either way; host\n\
          \x20                    profiling needs 'threaded' (see docs/backends.md)\n\
+         \x20 --schedule S       reduction-send schedule: 'level' (default;\n\
+         \x20                    ship ancestor supernodes at each level\n\
+         \x20                    boundary, as in Algorithm 1) or 'taskgraph'\n\
+         \x20                    (hoist each send to its dependency-DAG\n\
+         \x20                    readiness point). Factors, solutions, and\n\
+         \x20                    all ledgers are bitwise identical; only\n\
+         \x20                    simulated clocks differ (docs/backends.md)\n\
          \n\
          fault injection (see docs/faultlab.md):\n\
          \x20 --faults SPEC      inject deterministic faults into the simulated\n\
@@ -163,6 +171,7 @@ fn parse_args() -> Args {
         sanitize: false,
         batched_schur: false,
         backend: Backend::Threaded,
+        schedule: Schedule::Level,
         faults: None,
         fault_seed: 1,
         no_recover: false,
@@ -210,6 +219,13 @@ fn parse_args() -> Args {
             "--backend" => {
                 let v = val("--backend");
                 args.backend = v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--schedule" => {
+                let v = val("--schedule");
+                args.schedule = v.parse().unwrap_or_else(|e| {
                     eprintln!("{e}");
                     usage()
                 })
@@ -388,10 +404,14 @@ fn main() {
         lookahead: args.lookahead,
         refine_steps: args.refine,
         tracing: args.trace_out.is_some() || args.report,
-        host_profiling: args.hostprof_out.is_some() || args.report,
+        // Host profiling is threaded-only; the machine rejects it under
+        // the event backend (a config error), so only request it there.
+        host_profiling: (args.hostprof_out.is_some() || args.report)
+            && args.backend == Backend::Threaded,
         sanitize: args.sanitize,
         batched_schur: args.batched_schur,
         backend: args.backend,
+        schedule: args.schedule,
         fault_plan: fault_plan.clone(),
         retry: (fault_plan.is_some() && !args.no_recover).then(RetryPolicy::default),
         recv_deadline: args.recv_deadline,
